@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the SP hardware components
+ * themselves (host-time, not simulated-time): Bloom filter insert/query,
+ * SSB search, BLT probe, cache hit path, and the allocator. These guard
+ * the simulator's own performance, since every simulated cycle crosses
+ * these structures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/blt.hh"
+#include "core/bloom_filter.hh"
+#include "core/ssb.hh"
+#include "mem/cache.hh"
+#include "pmem/allocator.hh"
+#include "pmem/layout.hh"
+
+using namespace sp;
+
+static void
+BM_BloomInsertQuery(benchmark::State &state)
+{
+    BloomFilter bloom(512, 2);
+    Addr a = kHeapBase;
+    for (auto _ : state) {
+        bloom.insert(a);
+        benchmark::DoNotOptimize(bloom.maybeContains(a + 64));
+        a += 64;
+        if ((a & 0xffff) == 0)
+            bloom.reset();
+    }
+}
+BENCHMARK(BM_BloomInsertQuery);
+
+static void
+BM_SsbSearch(benchmark::State &state)
+{
+    SpeculativeStoreBuffer ssb(256);
+    for (unsigned i = 0; i < 200; ++i) {
+        SsbEntry e;
+        e.type = SsbEntryType::kStore;
+        e.addr = kHeapBase + i * 64;
+        e.size = 8;
+        ssb.push(e);
+    }
+    Addr probe = kHeapBase;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ssb.searchForLoad(probe, 8));
+        probe += 64;
+        if (probe > kHeapBase + 400 * 64)
+            probe = kHeapBase;
+    }
+}
+BENCHMARK(BM_SsbSearch);
+
+static void
+BM_BltRecordProbe(benchmark::State &state)
+{
+    BlockLookupTable blt;
+    Addr a = kHeapBase;
+    for (auto _ : state) {
+        blt.record(a);
+        benchmark::DoNotOptimize(blt.probe(a + 64));
+        a += 64;
+        if ((a & 0x3ffff) == 0)
+            blt.clear();
+    }
+}
+BENCHMARK(BM_BltRecordProbe);
+
+static void
+BM_CacheFindAllocate(benchmark::State &state)
+{
+    CacheConfig cfg{32 * 1024, 8, 2};
+    Cache cache("L1D", cfg);
+    Addr a = kHeapBase;
+    for (auto _ : state) {
+        if (!cache.find(a)) {
+            Cache::Victim victim;
+            cache.allocate(a, &victim);
+        }
+        a += 64;
+        if (a > kHeapBase + (1 << 20))
+            a = kHeapBase;
+    }
+}
+BENCHMARK(BM_CacheFindAllocate);
+
+static void
+BM_AllocatorAllocFree(benchmark::State &state)
+{
+    NvmAllocator alloc(kHeapBase, kHeapBytes);
+    for (auto _ : state) {
+        Addr a = alloc.alloc(64);
+        benchmark::DoNotOptimize(a);
+        alloc.free(a, 64);
+    }
+}
+BENCHMARK(BM_AllocatorAllocFree);
+
+BENCHMARK_MAIN();

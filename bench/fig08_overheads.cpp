@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 8: execution-time overheads of successive persistence additions.
+ *
+ * For every Table 1 benchmark, runs the baseline (no logging, no
+ * persistence), Log, Log+P, Log+P+Sf, and SP256, and prints each variant's
+ * overhead normalized to the baseline, plus the geometric-mean row the
+ * paper reports. Expected shape (paper): Log ~25%, Log+P ~33%, Log+P+Sf
+ * ~60%, SP256 ~38% geomean; fences cost ~20.3% over Log+P and SP cuts
+ * that to ~3.6%.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/report.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main()
+{
+    std::cout << "== Figure 8: execution time overhead over baseline ==\n\n";
+    RunConfig banner = makeRunConfig(WorkloadKind::kLinkedList,
+                                     PersistMode::kNone, false);
+    printConfigBanner(std::cout, banner.sim);
+
+    Table table({"bench", "base cycles", "Log", "Log+P", "Log+P+Sf",
+                 "SP256"});
+    std::vector<double> log_oh, logp_oh, logpsf_oh, sp_oh;
+
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        RunResult base =
+            runExperiment(makeRunConfig(kind, PersistMode::kNone, false));
+        RunResult log =
+            runExperiment(makeRunConfig(kind, PersistMode::kLog, false));
+        RunResult logp =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogP, false));
+        RunResult logpsf =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, false));
+        RunResult sp =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, true));
+
+        log_oh.push_back(log.stats.overheadVs(base.stats));
+        logp_oh.push_back(logp.stats.overheadVs(base.stats));
+        logpsf_oh.push_back(logpsf.stats.overheadVs(base.stats));
+        sp_oh.push_back(sp.stats.overheadVs(base.stats));
+
+        table.addRow({workloadKindName(kind),
+                      std::to_string(base.stats.cycles),
+                      Table::pct(log_oh.back()),
+                      Table::pct(logp_oh.back()),
+                      Table::pct(logpsf_oh.back()),
+                      Table::pct(sp_oh.back())});
+    }
+
+    double g_log = geomeanOverhead(log_oh);
+    double g_logp = geomeanOverhead(logp_oh);
+    double g_logpsf = geomeanOverhead(logpsf_oh);
+    double g_sp = geomeanOverhead(sp_oh);
+    table.addRow({"geomean", "", Table::pct(g_log), Table::pct(g_logp),
+                  Table::pct(g_logpsf), Table::pct(g_sp)});
+    table.print(std::cout);
+    maybeWriteCsv("fig08_overheads", table);
+
+    // The abstract's headline numbers: fence cost over Log+P, with and
+    // without speculation.
+    double fence_cost = (1.0 + g_logpsf) / (1.0 + g_logp) - 1.0;
+    double sp_cost = (1.0 + g_sp) / (1.0 + g_logp) - 1.0;
+    std::cout << "\nfence overhead over Log+P (paper: ~20.3%): "
+              << Table::pct(fence_cost)
+              << "\nSP overhead over Log+P    (paper:  ~3.6%): "
+              << Table::pct(sp_cost) << "\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 10: fetch-queue stall cycles divided by baseline execution
+ * cycles.
+ *
+ * The paper's finding: Log+P+Sf's fetch-queue stalls are much higher than
+ * Log+P's -- the sfence overhead is pipeline stalls, not instructions --
+ * and SP eliminates nearly all of the difference, landing only slightly
+ * above Log+P.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/report.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main()
+{
+    std::cout << "== Figure 10: fetch-queue stall cycles / baseline cycles "
+                 "==\n\n";
+
+    Table table({"bench", "base cycles", "Log+P", "Log+P+Sf", "SP256"});
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        RunResult base =
+            runExperiment(makeRunConfig(kind, PersistMode::kNone, false));
+        RunResult logp =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogP, false));
+        RunResult logpsf =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, false));
+        RunResult sp =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, true));
+        table.addRow({workloadKindName(kind),
+                      std::to_string(base.stats.cycles),
+                      Table::num(logp.stats.fetchStallRatio(base.stats), 3),
+                      Table::num(logpsf.stats.fetchStallRatio(base.stats),
+                                 3),
+                      Table::num(sp.stats.fetchStallRatio(base.stats), 3)});
+    }
+    table.print(std::cout);
+    maybeWriteCsv("fig10_fetch_stalls", table);
+    std::cout << "\n(Log+P+Sf >> Log+P; SP256 lands back near Log+P)\n";
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 11: maximum number of in-flight pcommits, measured on the Log+P
+ * variant (no sfences), as the paper does to size the checkpoint buffer.
+ *
+ * The paper's finding: at most four pcommits are concurrently outstanding
+ * for most benchmarks, so a 4-entry checkpoint buffer suffices.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/report.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main()
+{
+    std::cout << "== Figure 11: max concurrent pcommits (Log+P) ==\n\n";
+
+    Table table({"bench", "pcommits", "max in-flight"});
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        RunResult logp =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogP, false));
+        table.addRow({workloadKindName(kind),
+                      std::to_string(logp.stats.pcommits),
+                      std::to_string(logp.stats.maxInflightPcommits)});
+    }
+    table.print(std::cout);
+    maybeWriteCsv("fig11_inflight_pcommits", table);
+    std::cout << "\n(paper: four for most benchmarks -> a 4-entry "
+                 "checkpoint buffer is sufficient)\n";
+    return 0;
+}

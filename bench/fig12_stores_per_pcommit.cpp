@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 12: average number of stores (including clwb/clflush) executed
+ * while a pcommit is outstanding, on the Log+P variant.
+ *
+ * The paper's finding: fewer than 20 for every benchmark except SS;
+ * together with Figure 11 this implies an SSB floor of about
+ * 4 checkpoints x 20 stores = 80 entries.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/report.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main()
+{
+    std::cout << "== Figure 12: speculative stores per outstanding pcommit "
+                 "(Log+P) ==\n\n";
+
+    Table table({"bench", "stores+clwb during pcommit", "pcommits",
+                 "stores/pcommit"});
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        RunResult logp =
+            runExperiment(makeRunConfig(kind, PersistMode::kLogP, false));
+        table.addRow({workloadKindName(kind),
+                      std::to_string(logp.stats.storesDuringPcommit),
+                      std::to_string(logp.stats.pcommits),
+                      Table::num(logp.stats.storesPerPcommit(), 1)});
+    }
+    table.print(std::cout);
+    maybeWriteCsv("fig12_stores_per_pcommit", table);
+    std::cout << "\n(paper: < 20 except SS; 4 checkpoints x ~20 stores "
+                 "=> ~80-entry SSB floor)\n";
+    return 0;
+}

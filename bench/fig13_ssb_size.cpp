@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 13: SP execution-time overhead over baseline for SSB sizes
+ * 32..1024 (Table 3 latencies).
+ *
+ * The paper's finding: 256 entries performs best on average (128 is nearly
+ * as good); larger SSBs lose to the higher CAM latency, smaller ones to
+ * structural hazards that stop speculation.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main()
+{
+    std::cout << "== Figure 13: SP overhead vs SSB size ==\n\n";
+
+    const std::vector<unsigned> sizes = {32, 64, 128, 256, 512, 1024};
+
+    for (bool strict : {false, true}) {
+        std::cout << (strict
+                          ? "-- strict commit engine (paper-literal "
+                            "drain-at-commit: entries occupy the SSB until "
+                            "their epoch's barrier completes) --\n"
+                          : "-- pipelined commit engine (default) --\n");
+        std::vector<std::string> headers = {"bench"};
+        for (unsigned s : sizes) {
+            headers.push_back("SP" + std::to_string(s) + " (" +
+                              std::to_string(ssbLatencyFor(s)) + "cyc)");
+        }
+        Table table(headers);
+
+        std::vector<std::vector<double>> overheads(sizes.size());
+        for (WorkloadKind kind : allWorkloadKinds()) {
+            RunResult base = runExperiment(
+                makeRunConfig(kind, PersistMode::kNone, false));
+            std::vector<std::string> row = {workloadKindName(kind)};
+            for (size_t i = 0; i < sizes.size(); ++i) {
+                RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf,
+                                              true, sizes[i]);
+                cfg.sim.sp.strictCommit = strict;
+                RunResult sp = runExperiment(cfg);
+                double oh = sp.stats.overheadVs(base.stats);
+                overheads[i].push_back(oh);
+                row.push_back(Table::pct(oh));
+            }
+            table.addRow(row);
+        }
+        std::vector<std::string> geo = {"geomean"};
+        for (size_t i = 0; i < sizes.size(); ++i)
+            geo.push_back(Table::pct(geomeanOverhead(overheads[i])));
+        table.addRow(geo);
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "(paper: 256 best on average, 128 close; bigger loses "
+                 "to CAM latency, smaller to structural hazards. The\n"
+                 "occupancy-driven effects appear under the strict engine, "
+                 "which holds entries for their epoch's full lifetime;\n"
+                 "the pipelined engine keeps occupancy so low the SSB size "
+                 "stops mattering -- a finding in its own right.)\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 1: benchmark characterization.
+ *
+ * Prints, for each workload at the fail-safe (Log+P+Sf) variant, the op
+ * counts in use, the per-operation instruction/persist mix (pcommits,
+ * clwbs, fences, undo-logged bytes) and the paper-scale op counts the
+ * SP_OPS/SP_INIT environment variables would restore.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/report.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main()
+{
+    std::cout << "== Table 1: benchmark characterization (Log+P+Sf) ==\n\n";
+
+    Table table({"bench", "#InitOps", "#SimOps", "paper init/sim",
+                 "instr/op", "pcommits/op", "clwb/op", "sfence/op"});
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf, false);
+        RunResult r = runExperiment(cfg);
+        WorkloadParams paper = paperScaleParams(kind);
+        double ops = static_cast<double>(cfg.params.simOps);
+        table.addRow({workloadKindName(kind),
+                      std::to_string(cfg.params.initOps),
+                      std::to_string(cfg.params.simOps),
+                      std::to_string(paper.initOps) + "/" +
+                          std::to_string(paper.simOps),
+                      Table::num(r.stats.instructions / ops, 0),
+                      Table::num(r.stats.pcommits / ops, 2),
+                      Table::num(r.stats.cacheWritebackOps / ops, 2),
+                      Table::num(r.stats.fences / ops, 2)});
+    }
+    table.print(std::cout);
+    maybeWriteCsv("table1_workloads", table);
+    std::cout << "\n(write-ahead logging: 4 pcommits and 8 sfences per "
+                 "transactional update, as Section 3.1 derives)\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Crash-recovery demonstration: run the fail-safe (Log+P+Sf) B-tree
+ * workload under speculative persistence, crash the machine at several
+ * points, and show that undo-log recovery always restores a valid tree
+ * whose contents exactly match a functional replay up to the recovered
+ * transaction boundary.
+ *
+ * This exercises the property the paper's write-ahead-logging protocol
+ * exists to provide -- and shows that SP does not weaken it, because
+ * speculative state never reaches the NVMM out of order.
+ *
+ * Usage: crash_recovery [crash-points]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "pmem/recovery.hh"
+
+using namespace sp;
+
+int
+main(int argc, char **argv)
+{
+    unsigned crash_points = argc > 1 ? std::atoi(argv[1]) : 8;
+
+    RunConfig cfg = makeRunConfig(WorkloadKind::kBTree,
+                                  PersistMode::kLogPSf, true);
+    cfg.params.initOps = 2000;
+    cfg.params.simOps = 120;
+
+    // A reference run tells us how long the whole workload takes.
+    RunResult full = runExperiment(cfg);
+    std::cout << "full run: " << full.stats.cycles << " cycles, "
+              << full.stats.pcommits << " pcommits, "
+              << full.stats.epochsStarted << " speculative epochs\n\n";
+
+    unsigned failures = 0;
+    for (unsigned i = 1; i <= crash_points; ++i) {
+        Tick crash_at = full.stats.cycles * i / (crash_points + 1);
+        RunResult crashed = runExperiment(cfg, crash_at);
+
+        // Power fails: caches and the WPQ are gone; only crashed.durable
+        // survives. Run recovery on it.
+        RecoveryResult rec = recoverImage(crashed.durable);
+        uint64_t gen = Workload::generation(crashed.durable);
+
+        // Rebuild the expected state by functional replay to the same
+        // transaction boundary.
+        auto replay = makeWorkload(cfg.kind, cfg.params);
+        replay->setup();
+        replay->runFunctionalToGeneration(gen);
+
+        std::string why;
+        bool ok = replay->checkImage(crashed.durable, &why) &&
+            replay->contents(crashed.durable) ==
+                replay->contents(replay->image());
+
+        std::cout << "crash @ cycle " << crash_at << ": generation " << gen
+                  << ", " << (rec.undone
+                                  ? "undo log applied (" +
+                                        std::to_string(rec.entriesApplied) +
+                                        " entries)"
+                                  : "no transaction in flight")
+                  << " -> " << (ok ? "RECOVERED, contents exact" : "FAILED")
+                  << (ok ? "" : " (" + why + ")") << "\n";
+        if (!ok)
+            ++failures;
+    }
+
+    if (failures) {
+        std::cout << "\n" << failures << " crash points FAILED\n";
+        return 1;
+    }
+    std::cout << "\nall crash points recovered to exact transaction "
+                 "boundaries\n";
+    return 0;
+}

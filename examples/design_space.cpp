@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Design-space explorer: sweep the SP hardware knobs (SSB size, checkpoint
+ * count, NVMM banks) for one workload and print the resulting overheads --
+ * the workflow an architect adopting this library would use to size the
+ * structures for a new memory technology.
+ *
+ * Usage: design_space [LL|HM|GH|SS|AT|BT|RT]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main(int argc, char **argv)
+{
+    WorkloadKind kind = WorkloadKind::kBTree;
+    if (argc > 1) {
+        for (WorkloadKind k : allWorkloadKinds()) {
+            if (std::strcmp(argv[1], workloadKindName(k)) == 0)
+                kind = k;
+        }
+    }
+    std::cout << "design-space sweep for " << workloadKindName(kind)
+              << "\n\n";
+
+    RunResult base =
+        runExperiment(makeRunConfig(kind, PersistMode::kNone, false));
+    RunResult nospec =
+        runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, false));
+    std::cout << "no-SP overhead: "
+              << Table::pct(nospec.stats.overheadVs(base.stats)) << "\n\n";
+
+    {
+        Table table({"SSB entries", "latency", "overhead", "max occupancy",
+                     "SSB-full stalls"});
+        for (unsigned entries : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+            RunResult r = runExperiment(
+                makeRunConfig(kind, PersistMode::kLogPSf, true, entries));
+            table.addRow({std::to_string(entries),
+                          std::to_string(ssbLatencyFor(entries)) + " cyc",
+                          Table::pct(r.stats.overheadVs(base.stats)),
+                          std::to_string(r.stats.ssbMaxOccupancy),
+                          std::to_string(r.stats.ssbFullStallCycles)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table({"checkpoints", "overhead", "checkpoint stalls",
+                     "epochs"});
+        for (unsigned cps : {1u, 2u, 4u, 8u}) {
+            RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf, true);
+            cfg.sim.sp.checkpoints = cps;
+            RunResult r = runExperiment(cfg);
+            table.addRow({std::to_string(cps),
+                          Table::pct(r.stats.overheadVs(base.stats)),
+                          std::to_string(r.stats.checkpointStallCycles),
+                          std::to_string(r.stats.epochsStarted)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table({"NVMM banks", "overhead", "max in-flight pcommits"});
+        for (unsigned banks : {1u, 4u, 8u, 16u, 32u}) {
+            RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf, true);
+            cfg.sim.mem.nvmmBanks = banks;
+            RunResult r = runExperiment(cfg);
+            table.addRow({std::to_string(banks),
+                          Table::pct(r.stats.overheadVs(base.stats)),
+                          std::to_string(r.stats.maxInflightPcommits)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

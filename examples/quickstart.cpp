@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: run one persistent-data-structure benchmark through the
+ * simulated machine in all four Figure-8 variants plus speculative
+ * persistence, and print the overhead ladder.
+ *
+ * Usage: quickstart [LL|HM|GH|SS|AT|BT|RT]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace sp;
+
+int
+main(int argc, char **argv)
+{
+    WorkloadKind kind = WorkloadKind::kLinkedList;
+    if (argc > 1) {
+        bool matched = false;
+        for (WorkloadKind k : allWorkloadKinds()) {
+            if (std::strcmp(argv[1], workloadKindName(k)) == 0) {
+                kind = k;
+                matched = true;
+            }
+        }
+        if (!matched) {
+            std::cerr << "unknown workload '" << argv[1]
+                      << "' (use LL, HM, GH, SS, AT, BT, or RT)\n";
+            return 1;
+        }
+    }
+
+    std::cout << "specpersist quickstart: workload "
+              << workloadKindName(kind) << "\n\n";
+
+    RunConfig base_cfg = makeRunConfig(kind, PersistMode::kNone, false);
+    printConfigBanner(std::cout, base_cfg.sim);
+
+    RunResult base = runExperiment(base_cfg);
+    std::cout << "baseline: " << base.stats.cycles << " cycles, "
+              << base.stats.instructions << " instructions\n\n";
+
+    Table table({"variant", "cycles", "instr", "pcommits", "overhead"});
+    auto add = [&](const char *label, PersistMode mode, bool spec) {
+        RunResult r = runExperiment(makeRunConfig(kind, mode, spec));
+        table.addRow({label, std::to_string(r.stats.cycles),
+                      std::to_string(r.stats.instructions),
+                      std::to_string(r.stats.pcommits),
+                      Table::pct(r.stats.overheadVs(base.stats))});
+        return r;
+    };
+    add("Log", PersistMode::kLog, false);
+    add("Log+P", PersistMode::kLogP, false);
+    add("Log+P+Sf", PersistMode::kLogPSf, false);
+    RunResult sp_run = add("SP256", PersistMode::kLogPSf, true);
+    table.print(std::cout);
+
+    if (std::getenv("SP_VERBOSE")) {
+        std::cout << "\n-- SP256 full stats --\n";
+        sp_run.stats.print(std::cout, "  ");
+    }
+
+    std::cout << "\nSP machinery: " << sp_run.stats.epochsStarted
+              << " epochs, " << sp_run.stats.spsTriples
+              << " sfence-pcommit-sfence triples folded, "
+              << sp_run.stats.ssbEnqueues << " SSB entries, bloom FP rate "
+              << Table::num(sp_run.stats.bloomFalsePositiveRate() * 100, 2)
+              << "%\n";
+    return 0;
+}

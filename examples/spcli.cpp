@@ -1,0 +1,213 @@
+/**
+ * @file
+ * spcli: run any benchmark/variant/configuration from the command line
+ * and print the full statistics -- the kitchen-sink driver for exploring
+ * the simulator without writing code.
+ *
+ * Usage:
+ *   spcli [--workload LL|HM|GH|SS|AT|BT|RT] [--mode base|log|logp|logpsf]
+ *         [--sp] [--strict] [--ssb N] [--checkpoints N] [--banks N]
+ *         [--wpq N] [--mcs N] [--ops N] [--init N] [--seed N]
+ *         [--evict] [--probe-period N] [--crash-at CYCLE] [--csv]
+ *         [--trace]
+ *
+ * Examples:
+ *   spcli --workload BT --sp --ssb 128
+ *   spcli --workload SS --mode logp --ops 5000
+ *   spcli --workload LL --sp --crash-at 100000
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cpu/ooo_core.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "mem/cache_hierarchy.hh"
+#include "mem/mem_system.hh"
+#include "pmem/recovery.hh"
+
+using namespace sp;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::cerr << "spcli: " << msg << "\n";
+    std::cerr <<
+        "usage: spcli [--workload LL|HM|GH|SS|AT|BT|RT]\n"
+        "             [--mode base|log|logp|logpsf] [--sp] [--strict]\n"
+        "             [--ssb N] [--checkpoints N] [--banks N] [--wpq N]\n"
+        "             [--mcs N] [--ops N] [--init N] [--seed N] [--evict]\n"
+        "             [--probe-period N] [--crash-at CYCLE] [--csv]\n"
+        "             [--trace]\n";
+    std::exit(msg ? 1 : 0);
+}
+
+uint64_t
+parseNum(const char *arg, const char *flag)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0')
+        usage((std::string("bad value for ") + flag).c_str());
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig cfg = makeRunConfig(WorkloadKind::kLinkedList,
+                                  PersistMode::kLogPSf, false);
+    Tick crash_at = 0;
+    bool csv = false;
+    bool trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage((flag + " needs a value").c_str());
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage();
+        } else if (flag == "--workload") {
+            const char *name = next();
+            bool matched = false;
+            for (WorkloadKind k : allWorkloadKinds()) {
+                if (std::strcmp(name, workloadKindName(k)) == 0) {
+                    cfg.kind = k;
+                    // Re-derive default op counts for the new kind,
+                    // preserving any --ops/--init given earlier by
+                    // re-applying env overrides afterwards.
+                    WorkloadParams fresh = defaultParams(k);
+                    fresh.mode = cfg.params.mode;
+                    fresh.seed = cfg.params.seed;
+                    fresh.evictOnPersist = cfg.params.evictOnPersist;
+                    cfg.params = fresh;
+                    applyEnvOverrides(cfg.params);
+                    matched = true;
+                }
+            }
+            if (!matched)
+                usage("unknown workload");
+        } else if (flag == "--mode") {
+            std::string m = next();
+            if (m == "base")
+                cfg.params.mode = PersistMode::kNone;
+            else if (m == "log")
+                cfg.params.mode = PersistMode::kLog;
+            else if (m == "logp")
+                cfg.params.mode = PersistMode::kLogP;
+            else if (m == "logpsf")
+                cfg.params.mode = PersistMode::kLogPSf;
+            else
+                usage("unknown mode");
+        } else if (flag == "--sp") {
+            cfg.sim.sp.enabled = true;
+        } else if (flag == "--strict") {
+            cfg.sim.sp.strictCommit = true;
+        } else if (flag == "--ssb") {
+            cfg.sim.sp.ssbEntries =
+                static_cast<unsigned>(parseNum(next(), "--ssb"));
+        } else if (flag == "--checkpoints") {
+            cfg.sim.sp.checkpoints =
+                static_cast<unsigned>(parseNum(next(), "--checkpoints"));
+        } else if (flag == "--banks") {
+            cfg.sim.mem.nvmmBanks =
+                static_cast<unsigned>(parseNum(next(), "--banks"));
+        } else if (flag == "--wpq") {
+            cfg.sim.mem.wpqEntries =
+                static_cast<unsigned>(parseNum(next(), "--wpq"));
+        } else if (flag == "--mcs") {
+            cfg.sim.mem.numMemCtrls =
+                static_cast<unsigned>(parseNum(next(), "--mcs"));
+        } else if (flag == "--ops") {
+            cfg.params.simOps = parseNum(next(), "--ops");
+        } else if (flag == "--init") {
+            cfg.params.initOps = parseNum(next(), "--init");
+        } else if (flag == "--seed") {
+            cfg.params.seed = parseNum(next(), "--seed");
+        } else if (flag == "--evict") {
+            cfg.params.evictOnPersist = true;
+        } else if (flag == "--probe-period") {
+            cfg.probePeriod = parseNum(next(), "--probe-period");
+        } else if (flag == "--crash-at") {
+            crash_at = parseNum(next(), "--crash-at");
+        } else if (flag == "--csv") {
+            csv = true;
+        } else if (flag == "--trace") {
+            trace = true;
+        } else {
+            usage(("unknown flag " + flag).c_str());
+        }
+    }
+
+    std::cout << "spcli: " << workloadKindName(cfg.kind) << " "
+              << persistModeName(cfg.params.mode)
+              << (cfg.sim.sp.enabled ? " +SP" : "")
+              << (cfg.sim.sp.strictCommit ? " (strict)" : "") << ", "
+              << cfg.params.simOps << " ops, seed " << cfg.params.seed
+              << "\n\n";
+
+    if (trace) {
+        // Tracing needs direct access to the core; drive the machine
+        // inline (small op counts advised).
+        auto workload = makeWorkload(cfg.kind, cfg.params);
+        workload->setup();
+        MemImage durable = workload->image();
+        Stats stats;
+        MemSystem mc(cfg.sim.mem, durable);
+        CacheHierarchy caches(cfg.sim, mc);
+        mc.setStats(&stats);
+        caches.setStats(&stats);
+        OooCore core(cfg.sim, workload->program(), caches, mc, stats);
+        core.setTraceSink(&std::cout);
+        core.run();
+        std::cout << "\ntotal: " << stats.cycles << " cycles\n";
+        return 0;
+    }
+
+    RunResult r = runExperiment(cfg, crash_at);
+
+    if (crash_at != 0 && !r.completed) {
+        std::cout << "crashed at cycle " << crash_at << "; recovering the "
+                  << "durable image...\n";
+        RecoveryResult rec = recoverImage(r.durable);
+        uint64_t gen = Workload::generation(r.durable);
+        auto w = makeWorkload(cfg.kind, cfg.params);
+        w->setup();
+        w->runFunctionalToGeneration(gen);
+        std::string why;
+        bool ok = w->checkImage(r.durable, &why) &&
+            w->contents(r.durable) == w->contents(w->image());
+        std::cout << "  " << (rec.undone
+                                  ? std::to_string(rec.entriesApplied) +
+                                        " undo entries applied"
+                                  : "no transaction in flight")
+                  << ", generation " << gen << " -> "
+                  << (ok ? "recovered exactly" : "MISMATCH: " + why)
+                  << "\n\n";
+    }
+
+    if (csv) {
+        std::cout << statsCsvHeader() << "\n"
+                  << statsCsvRow(workloadKindName(cfg.kind), r.stats)
+                  << "\n";
+    } else {
+        r.stats.print(std::cout, "  ");
+        if (r.stats.flushLatency.samples() > 0) {
+            std::cout << "\n  pcommit flush latency:\n";
+            r.stats.flushLatency.print(std::cout, "    ");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "core/bloom_filter.hh"
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+BloomFilter::BloomFilter(unsigned bytes, unsigned hashes)
+    : bits_(static_cast<size_t>(bytes) * 8, false), hashes_(hashes)
+{
+    SP_ASSERT(bytes > 0, "bloom filter must have at least one byte");
+    SP_ASSERT(hashes > 0, "bloom filter needs at least one hash");
+}
+
+uint64_t
+BloomFilter::hash(Addr blockAddr, unsigned i) const
+{
+    // Two rounds of a 64-bit mixer, salted per hash function. Quality
+    // matters only in that hashes must be independent enough to keep the
+    // false-positive rate near the analytic optimum.
+    uint64_t x = blockAddr / kBlockBytes;
+    x += uint64_t(i + 1) * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x % bits_.size();
+}
+
+void
+BloomFilter::insert(Addr addr)
+{
+    for (unsigned i = 0; i < hashes_; ++i)
+        bits_[hash(blockAlign(addr), i)] = true;
+}
+
+bool
+BloomFilter::maybeContains(Addr addr) const
+{
+    for (unsigned i = 0; i < hashes_; ++i) {
+        if (!bits_[hash(blockAlign(addr), i)])
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::reset()
+{
+    bits_.assign(bits_.size(), false);
+}
+
+unsigned
+BloomFilter::popcount() const
+{
+    unsigned n = 0;
+    for (bool b : bits_)
+        n += b;
+    return n;
+}
+
+} // namespace sp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bloom filter summarizing the Speculative Store Buffer contents.
+ *
+ * Loads executed during speculation consult the filter before paying the
+ * SSB CAM latency (paper Section 4.2.2, Figure 14). The filter can produce
+ * false positives but never false negatives, and it is reset wholesale when
+ * the core exits speculation, which keeps the false-positive rate low. As
+ * the paper observes, false positives mostly come from stores that have
+ * already drained out of the SSB while the filter has not yet been reset.
+ */
+
+#ifndef SP_CORE_BLOOM_FILTER_HH
+#define SP_CORE_BLOOM_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/** Block-address Bloom filter with k independent hash functions. */
+class BloomFilter
+{
+  public:
+    /**
+     * @param bytes Filter size in bytes (paper: 512).
+     * @param hashes Number of hash functions (k).
+     */
+    explicit BloomFilter(unsigned bytes = 512, unsigned hashes = 2);
+
+    /** Record the block containing `addr`. */
+    void insert(Addr addr);
+
+    /** May the block containing `addr` be present? (no false negatives) */
+    bool maybeContains(Addr addr) const;
+
+    /** Clear every bit (speculation exit). */
+    void reset();
+
+    /** Number of bits set (diagnostics / tests). */
+    unsigned popcount() const;
+
+    unsigned sizeBits() const { return static_cast<unsigned>(bits_.size()); }
+
+  private:
+    std::vector<bool> bits_;
+    unsigned hashes_;
+
+    uint64_t hash(Addr blockAddr, unsigned i) const;
+};
+
+} // namespace sp
+
+#endif // SP_CORE_BLOOM_FILTER_HH

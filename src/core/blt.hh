@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Block Lookup Table (BLT).
+ *
+ * Records the cache-block addresses touched by speculative loads and
+ * stores. External coherence operations are checked against it; any match
+ * is treated as an atomicity violation and aborts speculation to the oldest
+ * checkpoint (paper Section 4.2.2, following SC++). The table deliberately
+ * does not distinguish epochs: a hit rolls everything back.
+ */
+
+#ifndef SP_CORE_BLT_HH
+#define SP_CORE_BLT_HH
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/** Set of speculatively accessed block addresses. */
+class BlockLookupTable
+{
+  public:
+    /** Record a speculative access to the block containing `addr`. */
+    void record(Addr addr) { blocks_.insert(blockAlign(addr)); }
+
+    /** Does an external access to this block conflict with speculation? */
+    bool probe(Addr addr) const
+    {
+        return blocks_.count(blockAlign(addr)) != 0;
+    }
+
+    /** Forget everything (commit or abort). */
+    void clear() { blocks_.clear(); }
+
+    size_t size() const { return blocks_.size(); }
+
+  private:
+    std::unordered_set<Addr> blocks_;
+};
+
+} // namespace sp
+
+#endif // SP_CORE_BLT_HH

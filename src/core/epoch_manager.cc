@@ -1,0 +1,228 @@
+#include "core/epoch_manager.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+EpochManager::EpochManager(SpeculativeStoreBuffer &ssb,
+                           CheckpointBuffer &checkpoints,
+                           CacheHierarchy &caches, MemSystem &mc,
+                           Stats &stats, bool strictCommit)
+    : ssb_(ssb), checkpoints_(checkpoints), caches_(caches), mc_(mc),
+      stats_(stats), strictCommit_(strictCommit)
+{
+}
+
+bool
+EpochManager::drainAllowed(const SsbEntry &entry) const
+{
+    if (!strictCommit_)
+        return true;
+    // Paper-literal commit: only the oldest epoch's entries may drain,
+    // only once its gate holds, and never past an incomplete flush.
+    if (strictWaitFlush_ != 0 && !mc_.flushComplete(strictWaitFlush_))
+        return false;
+    const Epoch &oldest = epochs_.front();
+    if (entry.epoch != oldest.id)
+        return false;
+    if (oldest.isFirst) {
+        if (!preSpecDrained_)
+            return false;
+        for (uint64_t id : oldest.flushes) {
+            // The trigger flushes gate epoch 0's drain in strict mode.
+            if (!mc_.flushComplete(id))
+                return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+EpochManager::currentEpoch() const
+{
+    SP_ASSERT(!epochs_.empty(), "no current epoch outside speculation");
+    return epochs_.back().id;
+}
+
+EpochManager::Epoch &
+EpochManager::epochById(uint64_t id)
+{
+    for (Epoch &epoch : epochs_) {
+        if (epoch.id == id)
+            return epoch;
+    }
+    SP_PANIC("SSB entry tagged with a dead epoch ", id);
+}
+
+bool
+EpochManager::beginSpeculation(uint64_t cursor,
+                               std::vector<uint64_t> gateFlushes)
+{
+    SP_ASSERT(epochs_.empty(), "beginSpeculation while already speculating");
+    unsigned idx = checkpoints_.allocate(cursor);
+    if (idx == CheckpointBuffer::kInvalid)
+        return false;
+    Epoch epoch;
+    epoch.id = nextEpochId_++;
+    epoch.checkpointIdx = idx;
+    epoch.flushes = std::move(gateFlushes);
+    epoch.isFirst = true;
+    epochs_.push_back(std::move(epoch));
+    preSpecDrained_ = false;
+    ++stats_.epochsStarted;
+    return true;
+}
+
+bool
+EpochManager::startChild(uint64_t cursor)
+{
+    SP_ASSERT(!epochs_.empty(), "startChild outside speculation");
+    unsigned idx = checkpoints_.allocate(cursor);
+    if (idx == CheckpointBuffer::kInvalid)
+        return false;
+    epochs_.back().closed = true;
+    Epoch epoch;
+    epoch.id = nextEpochId_++;
+    epoch.checkpointIdx = idx;
+    epoch.isFirst = false;
+    epochs_.push_back(std::move(epoch));
+    ++stats_.epochsStarted;
+    return true;
+}
+
+bool
+EpochManager::drainOne(Tick now)
+{
+    const SsbEntry &entry = ssb_.front();
+
+    switch (entry.type) {
+      case SsbEntryType::kStore:
+        caches_.writeAccess(entry.addr, entry.value, entry.size, now);
+        ssb_.pop();
+        drainBusyUntil_ = now + 1;
+        return true;
+      case SsbEntryType::kClwb:
+      case SsbEntryType::kClflushOpt:
+      case SsbEntryType::kClflush: {
+        Tick ack = 0;
+        bool invalidate = entry.type != SsbEntryType::kClwb;
+        if (!caches_.writebackBlock(entry.addr, invalidate, now, ack)) {
+            // WPQ full: retry next cycle.
+            drainBusyUntil_ = now + 1;
+            return false;
+        }
+        ssb_.pop();
+        drainBusyUntil_ = now + 1;
+        return true;
+      }
+      case SsbEntryType::kPcommit:
+      case SsbEntryType::kSps: {
+        // Issue the flush marker and move on: WPQ FIFO order preserves
+        // every constraint the fences imposed, and the marker's completion
+        // gates this epoch's commit (checkpoint release) instead of
+        // stalling the drain. In strict (paper-literal) mode the drain
+        // additionally blocks until the flush completes.
+        uint64_t id = mc_.startFlush(now);
+        epochById(entry.epoch).flushes.push_back(id);
+        if (strictCommit_)
+            strictWaitFlush_ = id;
+        ssb_.pop();
+        drainBusyUntil_ = now + 1;
+        return true;
+      }
+      case SsbEntryType::kFenceMark:
+        // Ordering is inherent in the FIFO drain; nothing to wait for.
+        ssb_.pop();
+        return true;
+    }
+    return false;
+}
+
+bool
+EpochManager::canRetire(const Epoch &epoch) const
+{
+    if (!epoch.closed)
+        return false; // the live epoch is finalized by exitSpeculation()
+    if (epoch.isFirst && !preSpecDrained_)
+        return false;
+    if (ssb_.hasEntriesFor(epoch.id))
+        return false;
+    return std::all_of(epoch.flushes.begin(), epoch.flushes.end(),
+                       [this](uint64_t id) { return mc_.flushComplete(id); });
+}
+
+bool
+EpochManager::tick(Tick now)
+{
+    if (epochs_.empty())
+        return false;
+
+    bool progress = false;
+    if (!ssb_.empty() && now >= drainBusyUntil_ &&
+        drainAllowed(ssb_.front())) {
+        progress |= drainOne(now);
+    }
+
+    while (!epochs_.empty() && canRetire(epochs_.front())) {
+        checkpoints_.free(epochs_.front().checkpointIdx);
+        epochs_.pop_front();
+        ++stats_.epochsCommitted;
+        progress = true;
+    }
+    return progress;
+}
+
+Tick
+EpochManager::nextEventTick() const
+{
+    // Progress is driven by the drain port (busy at most one cycle) and
+    // the memory controller (whose events the core already considers).
+    if (!ssb_.empty())
+        return drainBusyUntil_;
+    return kTickNever;
+}
+
+bool
+EpochManager::readyToExit() const
+{
+    if (epochs_.size() != 1)
+        return false;
+    const Epoch &only = epochs_.front();
+    if (only.isFirst && !preSpecDrained_)
+        return false;
+    if (!ssb_.empty())
+        return false;
+    return std::all_of(only.flushes.begin(), only.flushes.end(),
+                       [this](uint64_t id) { return mc_.flushComplete(id); });
+}
+
+void
+EpochManager::exitSpeculation()
+{
+    SP_ASSERT(readyToExit(), "exitSpeculation before the SSB drained");
+    checkpoints_.free(epochs_.front().checkpointIdx);
+    epochs_.clear();
+    ++stats_.epochsCommitted;
+}
+
+uint64_t
+EpochManager::oldestCursor() const
+{
+    SP_ASSERT(!epochs_.empty(), "no rollback target outside speculation");
+    return checkpoints_.cursor(epochs_.front().checkpointIdx);
+}
+
+void
+EpochManager::abortAll()
+{
+    epochs_.clear();
+    checkpoints_.reset();
+    drainBusyUntil_ = 0;
+    strictWaitFlush_ = 0;
+}
+
+} // namespace sp

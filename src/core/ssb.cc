@@ -1,0 +1,67 @@
+#include "core/ssb.hh"
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+SpeculativeStoreBuffer::SpeculativeStoreBuffer(unsigned entries)
+    : capacity_(entries), latency_(ssbLatencyFor(entries))
+{
+    SP_ASSERT(entries > 0, "SSB needs at least one entry");
+}
+
+void
+SpeculativeStoreBuffer::push(const SsbEntry &entry)
+{
+    SP_ASSERT(!full(), "SSB overflow");
+    entries_.push_back(entry);
+}
+
+const SsbEntry &
+SpeculativeStoreBuffer::front() const
+{
+    SP_ASSERT(!empty(), "SSB underflow");
+    return entries_.front();
+}
+
+void
+SpeculativeStoreBuffer::pop()
+{
+    SP_ASSERT(!empty(), "SSB underflow");
+    entries_.pop_front();
+}
+
+bool
+SpeculativeStoreBuffer::searchForLoad(Addr addr, unsigned size) const
+{
+    // Youngest-first so forwarding picks the most recent producer; we only
+    // need existence for timing and statistics.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        if (it->type != SsbEntryType::kStore)
+            continue;
+        Addr lo = it->addr;
+        Addr hi = it->addr + it->size;
+        if (addr < hi && addr + size > lo)
+            return true;
+    }
+    return false;
+}
+
+bool
+SpeculativeStoreBuffer::hasEntriesFor(uint64_t epoch) const
+{
+    for (const SsbEntry &entry : entries_) {
+        if (entry.epoch == epoch)
+            return true;
+    }
+    return false;
+}
+
+void
+SpeculativeStoreBuffer::clear()
+{
+    entries_.clear();
+}
+
+} // namespace sp

@@ -1,0 +1,931 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+OooCore::OooCore(const SimConfig &cfg, Program &program,
+                 CacheHierarchy &caches, MemSystem &mc, Stats &stats)
+    : cfg_(cfg), program_(program), caches_(caches), mc_(mc), stats_(stats),
+      ssb_(cfg.sp.ssbEntries), checkpoints_(cfg.sp.checkpoints),
+      bloom_(cfg.sp.bloomBytes, cfg.sp.bloomHashes),
+      epochs_(ssb_, checkpoints_, caches_, mc_, stats_,
+              cfg.sp.strictCommit),
+      doneAt_(kRingSize, kTickNever)
+{
+}
+
+// --------------------------------------------------------------------------
+// Conditions
+// --------------------------------------------------------------------------
+
+bool
+OooCore::storeBufferEmpty() const
+{
+    return storeBuffer_.empty() && !sbInFlight_;
+}
+
+bool
+OooCore::storePendingTo(Addr blockAddr) const
+{
+    if (sbInFlight_ && sbInFlightBlock_ == blockAddr)
+        return true;
+    for (const StoreBufEntry &entry : storeBuffer_) {
+        if (blockAlign(entry.addr) == blockAddr)
+            return true;
+    }
+    return false;
+}
+
+bool
+OooCore::persistAcksDone() const
+{
+    return std::all_of(persistAcks_.begin(), persistAcks_.end(),
+                       [this](Tick t) { return t <= now_; });
+}
+
+void
+OooCore::updateFlushAcks()
+{
+    for (FlushFlight &flight : flushes_) {
+        if (flight.ackAt == kTickNever && mc_.flushComplete(flight.id))
+            flight.ackAt = now_ + mc_.roundTrip();
+    }
+}
+
+bool
+OooCore::flushesAcked() const
+{
+    return std::all_of(flushes_.begin(), flushes_.end(),
+                       [this](const FlushFlight &f) {
+                           return f.ackAt != kTickNever && f.ackAt <= now_;
+                       });
+}
+
+bool
+OooCore::anyFlushOutstanding() const
+{
+    return std::any_of(flushes_.begin(), flushes_.end(),
+                       [this](const FlushFlight &f) {
+                           return !mc_.flushComplete(f.id);
+                       });
+}
+
+bool
+OooCore::preSpecDrained() const
+{
+    return storeBufferEmpty() && persistAcksDone();
+}
+
+// --------------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------------
+
+void
+OooCore::fetchStage()
+{
+    unsigned budget = cfg_.core.fetchWidth;
+    while (budget > 0) {
+        bool more = pendingAlu_ > 0 || !programEnded_;
+        if (!more)
+            break;
+        if (fetchQ_.size() >= cfg_.core.fetchQueueSize) {
+            flags_.fetchBlocked = true;
+            break;
+        }
+        DynOp dyn;
+        if (pendingAlu_ > 0) {
+            dyn.op = MicroOp::alu(1);
+            dyn.nextCursor = pendingAluCursor_;
+            --pendingAlu_;
+        } else {
+            MicroOp op;
+            if (!program_.next(op)) {
+                programEnded_ = true;
+                break;
+            }
+            uint64_t next_cursor = program_.cursor();
+            if (op.type == OpType::kAlu && op.repeat > 1) {
+                pendingAlu_ = op.repeat - 1;
+                pendingAluCursor_ = next_cursor;
+                op.repeat = 1;
+            }
+            dyn.op = op;
+            dyn.nextCursor = next_cursor;
+        }
+        dyn.seq = nextSeq_++;
+        fetchQ_.push_back(dyn);
+        --budget;
+        flags_.progress = true;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------------
+
+void
+OooCore::dispatchStage()
+{
+    unsigned budget = cfg_.core.dispatchWidth;
+    while (budget > 0 && !fetchQ_.empty()) {
+        if (rob_.size() >= cfg_.core.robSize)
+            break;
+        if (unissued_.size() >= cfg_.core.issueQueueSize)
+            break;
+        const DynOp &front = fetchQ_.front();
+        bool mem = isMemOp(front.op.type);
+        if (mem && lsqCount_ >= cfg_.core.lsqSize)
+            break;
+        // Reset the dependence ring slot for this source op.
+        doneAt_[(front.nextCursor - 1) % kRingSize] = kTickNever;
+        rob_.push_back(front);
+        unissued_.push_back(front.seq);
+        if (mem)
+            ++lsqCount_;
+        fetchQ_.pop_front();
+        --budget;
+        flags_.progress = true;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Issue / execute
+// --------------------------------------------------------------------------
+
+OooCore::DynOp *
+OooCore::findBySeq(uint64_t seq)
+{
+    if (rob_.empty())
+        return nullptr;
+    uint64_t base = rob_.front().seq;
+    SP_ASSERT(seq >= base && seq < base + rob_.size(),
+              "seq ", seq, " not resident in ROB");
+    return &rob_[static_cast<size_t>(seq - base)];
+}
+
+Tick
+OooCore::depReadyAt(const DynOp &op) const
+{
+    if (op.op.dep == 0)
+        return 0;
+    uint64_t src = op.nextCursor - 1;
+    if (op.op.dep > src)
+        return 0; // dependence beyond the start of the program
+    return doneAt_[(src - op.op.dep) % kRingSize];
+}
+
+bool
+OooCore::depReady(const DynOp &op) const
+{
+    return depReadyAt(op) <= now_;
+}
+
+void
+OooCore::executeOp(DynOp &op)
+{
+    Tick ready = now_ + 1;
+    switch (op.op.type) {
+      case OpType::kLoad: {
+        if (specMode_) {
+            ++stats_.specLoads;
+            ++stats_.bloomLookups;
+            if (bloom_.maybeContains(op.op.addr)) {
+                ++stats_.bloomHits;
+                bool match = ssb_.searchForLoad(op.op.addr, op.op.size);
+                if (match) {
+                    // Forward from the SSB: pay the CAM latency only.
+                    ++stats_.ssbForwards;
+                    ready = now_ + ssb_.latency();
+                    break;
+                }
+                ++stats_.bloomFalsePositives;
+                // False positive: CAM search, then the cache access.
+                ready = caches_.readAccess(op.op.addr, op.op.size,
+                                           now_ + ssb_.latency());
+                break;
+            }
+            // Bloom miss: straight to the cache.
+            ready = caches_.readAccess(op.op.addr, op.op.size, now_);
+            break;
+        }
+        ready = caches_.readAccess(op.op.addr, op.op.size, now_);
+        break;
+      }
+      case OpType::kAluChain:
+        // Serial dependence chain: one cycle per element.
+        ready = now_ + op.op.repeat;
+        break;
+      case OpType::kAlu:
+      case OpType::kStore:
+      case OpType::kXchg:
+      case OpType::kClwb:
+      case OpType::kClflushOpt:
+      case OpType::kClflush:
+      case OpType::kPcommit:
+      case OpType::kSfence:
+      case OpType::kMfence:
+        // Address/data generation or no-op execution: one cycle.
+        ready = now_ + 1;
+        break;
+    }
+    op.issued = true;
+    op.readyAt = ready;
+    doneAt_[(op.nextCursor - 1) % kRingSize] = ready;
+}
+
+void
+OooCore::issueStage()
+{
+    unsigned issued = 0;
+    for (auto it = unissued_.begin();
+         it != unissued_.end() && issued < cfg_.core.issueWidth;) {
+        DynOp *op = findBySeq(*it);
+        SP_ASSERT(op && !op->issued, "stale unissued entry");
+        if (!depReady(*op)) {
+            ++it;
+            continue;
+        }
+        executeOp(*op);
+        ++issued;
+        flags_.progress = true;
+        it = unissued_.erase(it);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Retirement
+// --------------------------------------------------------------------------
+
+void
+OooCore::trace(const char *event, const std::string &detail)
+{
+    if (!traceSink_)
+        return;
+    *traceSink_ << "[" << std::setw(8) << now_ << "] " << event;
+    if (!detail.empty())
+        *traceSink_ << " " << detail;
+    *traceSink_ << "\n";
+}
+
+void
+OooCore::countRetired(const DynOp &op)
+{
+    if (traceSink_ && op.op.type != OpType::kAlu &&
+        op.op.type != OpType::kAluChain) {
+        trace(specMode_ ? "retire*" : "retire ", op.op.toString());
+    }
+    stats_.instructions += op.op.instructionCount();
+    switch (op.op.type) {
+      case OpType::kLoad:
+        ++stats_.loads;
+        break;
+      case OpType::kStore:
+      case OpType::kXchg:
+        ++stats_.stores;
+        if (mc_.outstandingFlushes() > 0)
+            ++stats_.storesDuringPcommit;
+        break;
+      case OpType::kClwb:
+      case OpType::kClflushOpt:
+      case OpType::kClflush:
+        ++stats_.cacheWritebackOps;
+        // Figure 12 counts clwb/clflush as stores in flight.
+        if (mc_.outstandingFlushes() > 0)
+            ++stats_.storesDuringPcommit;
+        break;
+      case OpType::kPcommit:
+        ++stats_.pcommits;
+        break;
+      case OpType::kSfence:
+      case OpType::kMfence:
+        ++stats_.fences;
+        break;
+      case OpType::kAlu:
+      case OpType::kAluChain:
+        break;
+    }
+}
+
+void
+OooCore::releaseRetired(uint64_t nextCursor)
+{
+    uint64_t target = nextCursor;
+    if (specMode_)
+        target = std::min(target, epochs_.oldestCursor());
+    if (target > releasedCursor_ && (target - releasedCursor_) >= 4096) {
+        program_.release(target);
+        releasedCursor_ = target;
+    }
+}
+
+void
+OooCore::popHead()
+{
+    const DynOp &head = rob_.front();
+    if (isMemOp(head.op.type)) {
+        SP_ASSERT(lsqCount_ > 0, "LSQ accounting underflow");
+        --lsqCount_;
+    }
+    releaseRetired(head.nextCursor);
+    rob_.pop_front();
+    flags_.progress = true;
+}
+
+void
+OooCore::noteSpecStore(const DynOp &op)
+{
+    SsbEntry entry;
+    entry.type = SsbEntryType::kStore;
+    entry.size = op.op.size;
+    entry.epoch = epochs_.currentEpoch();
+    entry.addr = op.op.addr;
+    entry.value = op.op.value;
+    ssb_.push(entry);
+    bloom_.insert(op.op.addr);
+    blt_.record(op.op.addr);
+    ++stats_.ssbEnqueues;
+    stats_.ssbMaxOccupancy =
+        std::max<uint64_t>(stats_.ssbMaxOccupancy, ssb_.size());
+}
+
+bool
+OooCore::retireStore(const DynOp &head)
+{
+    if (specMode_) {
+        if (ssb_.full()) {
+            flags_.ssbBlocked = true;
+            return false;
+        }
+        noteSpecStore(head);
+    } else {
+        if (storeBuffer_.size() >= cfg_.core.storeBufferSize) {
+            flags_.sbBlocked = true;
+            return false;
+        }
+        storeBuffer_.push_back({head.op.addr, head.op.value, head.op.size});
+    }
+    countRetired(head);
+    popHead();
+    return true;
+}
+
+bool
+OooCore::retireWriteback(const DynOp &head)
+{
+    if (specMode_) {
+        // PMEM ops cannot execute speculatively; delay them in the SSB.
+        if (ssb_.full()) {
+            flags_.ssbBlocked = true;
+            return false;
+        }
+        SsbEntry entry;
+        entry.type = head.op.type == OpType::kClwb ? SsbEntryType::kClwb
+            : head.op.type == OpType::kClflushOpt ? SsbEntryType::kClflushOpt
+                                                  : SsbEntryType::kClflush;
+        entry.epoch = epochs_.currentEpoch();
+        entry.addr = head.op.addr;
+        ssb_.push(entry);
+        epochHasPersistOps_ = true;
+        ++stats_.ssbEnqueues;
+        stats_.ssbMaxOccupancy =
+            std::max<uint64_t>(stats_.ssbMaxOccupancy, ssb_.size());
+    } else {
+        // clwb is ordered with respect to older stores to the same cache
+        // line: they must reach the L1D before the block is written back.
+        if (storePendingTo(head.op.addr)) {
+            flags_.sbBlocked = true;
+            return false;
+        }
+        Tick ack = 0;
+        bool invalidate = head.op.type != OpType::kClwb;
+        if (!caches_.writebackBlock(head.op.addr, invalidate, now_, ack)) {
+            // WPQ full: retry next cycle.
+            flags_.sbBlocked = true;
+            return false;
+        }
+        persistAcks_.push_back(ack);
+    }
+    countRetired(head);
+    popHead();
+    return true;
+}
+
+bool
+OooCore::retirePcommit(const DynOp &head)
+{
+    if (specMode_) {
+        if (ssb_.full()) {
+            flags_.ssbBlocked = true;
+            return false;
+        }
+        SsbEntry entry;
+        entry.type = SsbEntryType::kPcommit;
+        entry.epoch = epochs_.currentEpoch();
+        ssb_.push(entry);
+        epochHasPersistOps_ = true;
+        ++stats_.ssbEnqueues;
+    } else {
+        flushes_.push_back({mc_.startFlush(now_), kTickNever});
+    }
+    countRetired(head);
+    popHead();
+    return true;
+}
+
+bool
+OooCore::triggerSpeculation(const DynOp &fence)
+{
+    std::vector<uint64_t> gate;
+    for (const FlushFlight &flight : flushes_) {
+        if (!mc_.flushComplete(flight.id))
+            gate.push_back(flight.id);
+    }
+    SP_ASSERT(!gate.empty(), "speculation trigger without pending pcommit");
+    if (!epochs_.beginSpeculation(fence.nextCursor, std::move(gate)))
+        return false;
+    specMode_ = true;
+    epochHasPersistOps_ = false;
+    flushes_.clear();
+    trace("SPECULATE", "checkpoint at cursor " +
+                           std::to_string(fence.nextCursor));
+    return true;
+}
+
+bool
+OooCore::retireFence(const DynOp &head)
+{
+    if (specMode_)
+        return retireSpecFence(head);
+
+    updateFlushAcks();
+    if (storeBufferEmpty() && persistAcksDone() && flushesAcked()) {
+        persistAcks_.clear();
+        flushes_.clear();
+        countRetired(head);
+        popHead();
+        return true;
+    }
+
+    // Blocked. Speculate if this fence waits on an outstanding pcommit.
+    if (cfg_.sp.enabled && anyFlushOutstanding() &&
+        triggerSpeculation(head)) {
+        countRetired(head);
+        popHead();
+        return true;
+    }
+
+    flags_.fenceBlocked = true;
+    return false;
+}
+
+bool
+OooCore::retireSpecFence(const DynOp &head)
+{
+    // Peephole: fold sfence-pcommit-sfence into one checkpoint + one SSB
+    // entry (paper Section 4.2.2).
+    bool more_may_come = !fetchQ_.empty() || pendingAlu_ > 0 ||
+        !programEnded_;
+    if (cfg_.sp.spsPeephole) {
+        if (rob_.size() >= 2 && rob_[1].op.type == OpType::kPcommit) {
+            if (rob_.size() < 3) {
+                if (more_may_come) {
+                    // Wait to see whether a second sfence follows.
+                    flags_.fenceBlocked = true;
+                    return false;
+                }
+            } else if (rob_[2].op.type == OpType::kSfence ||
+                       rob_[2].op.type == OpType::kMfence) {
+                DynOp &pc = rob_[1];
+                DynOp &f2 = rob_[2];
+                if (!pc.issued || pc.readyAt > now_ || !f2.issued ||
+                    f2.readyAt > now_) {
+                    flags_.fenceBlocked = true;
+                    return false;
+                }
+                if (ssb_.full()) {
+                    flags_.ssbBlocked = true;
+                    return false;
+                }
+                if (!epochs_.canStartChild()) {
+                    flags_.checkpointBlocked = true;
+                    return false;
+                }
+                SsbEntry entry;
+                entry.type = SsbEntryType::kSps;
+                entry.epoch = epochs_.currentEpoch();
+                ssb_.push(entry);
+                ++stats_.ssbEnqueues;
+                ++stats_.spsTriples;
+                bool ok = epochs_.startChild(f2.nextCursor);
+                SP_ASSERT(ok, "startChild failed despite canStartChild");
+                epochHasPersistOps_ = false;
+                // Retire all three ops.
+                countRetired(rob_.front());
+                popHead();
+                countRetired(rob_.front());
+                popHead();
+                countRetired(rob_.front());
+                popHead();
+                return true;
+            }
+        }
+    }
+
+    if (!epochHasPersistOps_) {
+        // The epoch contains no delayed PMEM operations, so the fence
+        // imposes no constraint the SSB's FIFO order does not already
+        // guarantee; retire it silently and keep speculating.
+        countRetired(head);
+        popHead();
+        return true;
+    }
+
+    // Bare fence boundary: close the epoch and start a child.
+    if (ssb_.full()) {
+        flags_.ssbBlocked = true;
+        return false;
+    }
+    if (!epochs_.canStartChild()) {
+        flags_.checkpointBlocked = true;
+        return false;
+    }
+    SsbEntry entry;
+    entry.type = SsbEntryType::kFenceMark;
+    entry.epoch = epochs_.currentEpoch();
+    ssb_.push(entry);
+    ++stats_.ssbEnqueues;
+    bool ok = epochs_.startChild(head.nextCursor);
+    SP_ASSERT(ok, "startChild failed despite canStartChild");
+    epochHasPersistOps_ = false;
+    countRetired(head);
+    popHead();
+    return true;
+}
+
+bool
+OooCore::retireXchg(const DynOp &head)
+{
+    if (specMode_) {
+        // xchg is an ordering instruction: boundary if the epoch holds
+        // PMEM ops, then the store itself enters the (new) epoch.
+        if (epochHasPersistOps_) {
+            if (ssb_.full()) {
+                flags_.ssbBlocked = true;
+                return false;
+            }
+            if (!epochs_.canStartChild()) {
+                flags_.checkpointBlocked = true;
+                return false;
+            }
+            SsbEntry mark;
+            mark.type = SsbEntryType::kFenceMark;
+            mark.epoch = epochs_.currentEpoch();
+            ssb_.push(mark);
+            ++stats_.ssbEnqueues;
+            bool ok = epochs_.startChild(head.nextCursor);
+            SP_ASSERT(ok, "startChild failed despite canStartChild");
+            epochHasPersistOps_ = false;
+        }
+        if (ssb_.full()) {
+            flags_.ssbBlocked = true;
+            return false;
+        }
+        noteSpecStore(head);
+        countRetired(head);
+        popHead();
+        return true;
+    }
+
+    updateFlushAcks();
+    if (!(storeBufferEmpty() && persistAcksDone() && flushesAcked())) {
+        flags_.fenceBlocked = true;
+        return false;
+    }
+    if (storeBuffer_.size() >= cfg_.core.storeBufferSize) {
+        flags_.sbBlocked = true;
+        return false;
+    }
+    persistAcks_.clear();
+    flushes_.clear();
+    storeBuffer_.push_back({head.op.addr, head.op.value, head.op.size});
+    countRetired(head);
+    popHead();
+    return true;
+}
+
+bool
+OooCore::retireHead()
+{
+    DynOp &head = rob_.front();
+    if (!head.issued || head.readyAt > now_)
+        return false;
+
+    if (postAbortDrain_) {
+        updateFlushAcks();
+        if (!(storeBufferEmpty() && persistAcksDone() && flushesAcked())) {
+            flags_.fenceBlocked = true;
+            return false;
+        }
+        persistAcks_.clear();
+        flushes_.clear();
+        postAbortDrain_ = false;
+    }
+
+    switch (head.op.type) {
+      case OpType::kAlu:
+      case OpType::kAluChain:
+        countRetired(head);
+        popHead();
+        return true;
+      case OpType::kLoad:
+        if (specMode_)
+            blt_.record(head.op.addr);
+        countRetired(head);
+        popHead();
+        return true;
+      case OpType::kStore:
+        return retireStore(head);
+      case OpType::kClwb:
+      case OpType::kClflushOpt:
+      case OpType::kClflush:
+        return retireWriteback(head);
+      case OpType::kPcommit:
+        return retirePcommit(head);
+      case OpType::kSfence:
+      case OpType::kMfence:
+        return retireFence(head);
+      case OpType::kXchg:
+        return retireXchg(head);
+    }
+    SP_PANIC("unhandled op type at retirement");
+}
+
+void
+OooCore::retireStage()
+{
+    unsigned retired = 0;
+    while (retired < cfg_.core.retireWidth && !rob_.empty()) {
+        if (!retireHead())
+            break;
+        ++retired;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Store buffer drain
+// --------------------------------------------------------------------------
+
+void
+OooCore::drainStoreBuffer()
+{
+    // The L1D store port is occupied one cycle per committing store
+    // (latency is not occupancy); a miss blocks the drain until the fill
+    // returns. Two commit ports per cycle.
+    if (sbInFlight_) {
+        if (now_ < sbHeadDoneAt_)
+            return;
+        sbInFlight_ = false;
+        flags_.progress = true;
+    }
+    unsigned drained = 0;
+    while (drained < 2 && !storeBuffer_.empty()) {
+        const StoreBufEntry &entry = storeBuffer_.front();
+        Tick done =
+            caches_.writeAccess(entry.addr, entry.value, entry.size, now_);
+        storeBuffer_.pop_front();
+        ++drained;
+        flags_.progress = true;
+        if (done > now_ + cfg_.l1d.latency) {
+            // Miss: the port is blocked until the fill completes.
+            sbInFlight_ = true;
+            sbHeadDoneAt_ = done;
+            sbInFlightBlock_ = blockAlign(entry.addr);
+            break;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Speculation exit and abort
+// --------------------------------------------------------------------------
+
+void
+OooCore::maybeExitSpeculation()
+{
+    if (!specMode_)
+        return;
+    if (!epochs_.readyToExit())
+        return;
+    trace("COMMIT", "all epochs drained; leaving speculation");
+    epochs_.exitSpeculation();
+    bloom_.reset();
+    blt_.clear();
+    specMode_ = false;
+    epochHasPersistOps_ = false;
+    flags_.progress = true;
+}
+
+void
+OooCore::abortSpeculation()
+{
+    ++stats_.aborts;
+    uint64_t cursor = epochs_.oldestCursor();
+    trace("ABORT", "rolling back to cursor " + std::to_string(cursor));
+    epochs_.abortAll();
+    ssb_.clear();
+    bloom_.reset();
+    blt_.clear();
+    program_.rewind(cursor);
+    fetchQ_.clear();
+    rob_.clear();
+    unissued_.clear();
+    lsqCount_ = 0;
+    pendingAlu_ = 0;
+    // The rewound window has ops to re-deliver even if the inner program
+    // had already been exhausted; fetch must resume and rediscover the
+    // end itself.
+    programEnded_ = false;
+    specMode_ = false;
+    epochHasPersistOps_ = false;
+    // Re-establish the ordering the speculatively retired fence promised:
+    // hold retirement until every pre-speculation persist completes.
+    postAbortDrain_ = true;
+}
+
+void
+OooCore::processProbes()
+{
+    if (probePeriod_ != 0 && now_ >= nextProbeAt_) {
+        // Cheap deterministic splitmix draw for the probed block.
+        while (now_ >= nextProbeAt_) {
+            uint64_t z = (probeRngState_ += 0x9e3779b97f4a7c15ULL);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            z ^= z >> 31;
+            Addr addr = probeBase_ +
+                blockAlign(z % probeRange_);
+            if (specMode_ && blt_.probe(addr))
+                abortSpeculation();
+            nextProbeAt_ += probePeriod_;
+        }
+    }
+    while (!probes_.empty() && probes_.begin()->first <= now_) {
+        Addr addr = probes_.begin()->second;
+        probes_.erase(probes_.begin());
+        if (specMode_ && blt_.probe(addr))
+            abortSpeculation();
+    }
+}
+
+void
+OooCore::enablePeriodicProbes(Tick period, Addr base, uint64_t rangeBytes,
+                              uint64_t seed)
+{
+    probePeriod_ = period;
+    nextProbeAt_ = now_ + period;
+    probeBase_ = blockAlign(base);
+    probeRange_ = rangeBytes ? rangeBytes : kBlockBytes;
+    probeRngState_ = seed;
+}
+
+void
+OooCore::scheduleProbe(Tick atCycle, Addr blockAddr)
+{
+    probes_.emplace(atCycle, blockAlign(blockAddr));
+}
+
+// --------------------------------------------------------------------------
+// Main loop
+// --------------------------------------------------------------------------
+
+bool
+OooCore::done() const
+{
+    return programEnded_ && pendingAlu_ == 0 && fetchQ_.empty() &&
+        rob_.empty() && storeBuffer_.empty() && !sbInFlight_ && !specMode_;
+}
+
+void
+OooCore::stepCycle()
+{
+    flags_ = CycleFlags{};
+
+    mc_.advanceTo(now_);
+    processProbes();
+    if (specMode_) {
+        epochs_.setPreSpecDrained(preSpecDrained());
+        if (epochs_.tick(now_))
+            flags_.progress = true;
+    }
+    retireStage();
+    drainStoreBuffer();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    maybeExitSpeculation();
+
+    // Cycle-granularity stall accounting.
+    if (flags_.fetchBlocked)
+        ++stats_.fetchQueueStallCycles;
+    if (flags_.fenceBlocked)
+        ++stats_.fenceStallCycles;
+    if (flags_.ssbBlocked)
+        ++stats_.ssbFullStallCycles;
+    if (flags_.checkpointBlocked)
+        ++stats_.checkpointStallCycles;
+    if (flags_.sbBlocked)
+        ++stats_.storeBufferStallCycles;
+}
+
+Tick
+OooCore::nextEventTick() const
+{
+    Tick next = kTickNever;
+    auto consider = [&](Tick t) {
+        if (t > now_ && t < next)
+            next = t;
+    };
+
+    consider(mc_.nextEventTick());
+    if (sbInFlight_)
+        consider(sbHeadDoneAt_);
+    for (Tick t : persistAcks_)
+        consider(t);
+    for (const FlushFlight &flight : flushes_) {
+        if (flight.ackAt != kTickNever)
+            consider(flight.ackAt);
+    }
+    for (const DynOp &op : rob_) {
+        if (op.issued && op.readyAt > now_)
+            consider(op.readyAt);
+    }
+    if (specMode_)
+        consider(epochs_.nextEventTick());
+    if (!probes_.empty())
+        consider(probes_.begin()->first);
+    if (probePeriod_ != 0 && specMode_)
+        consider(nextProbeAt_);
+    return next;
+}
+
+void
+OooCore::skipIdleCycles()
+{
+    Tick next = nextEventTick();
+    if (next == kTickNever || next <= now_ + 1) {
+        ++now_;
+        return;
+    }
+    Tick delta = next - now_ - 1;
+    if (flags_.fetchBlocked)
+        stats_.fetchQueueStallCycles += delta;
+    if (flags_.fenceBlocked)
+        stats_.fenceStallCycles += delta;
+    if (flags_.ssbBlocked)
+        stats_.ssbFullStallCycles += delta;
+    if (flags_.checkpointBlocked)
+        stats_.checkpointStallCycles += delta;
+    if (flags_.sbBlocked)
+        stats_.storeBufferStallCycles += delta;
+    now_ = next;
+}
+
+bool
+OooCore::runUntil(Tick cycleLimit)
+{
+    uint64_t idle_streak = 0;
+    while (!done()) {
+        if (now_ >= cycleLimit) {
+            stats_.cycles = now_;
+            return false;
+        }
+        stepCycle();
+        if (flags_.progress) {
+            idle_streak = 0;
+            ++now_;
+        } else {
+            ++idle_streak;
+            SP_ASSERT(idle_streak < 1000,
+                      "no forward progress for 1000 events at cycle ", now_);
+            skipIdleCycles();
+        }
+        if (cfg_.maxCycles && now_ > cfg_.maxCycles) {
+            SP_FATAL("simulation exceeded maxCycles=", cfg_.maxCycles);
+        }
+    }
+    stats_.cycles = now_;
+    return true;
+}
+
+void
+OooCore::run()
+{
+    runUntil(kTickNever);
+}
+
+} // namespace sp

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Out-of-order core model with speculative persistence support.
+ *
+ * The pipeline follows Table 2: 4-wide fetch/dispatch/issue/retire, a
+ * 128-entry ROB, 48-entry fetch and issue queues, a 48-entry LSQ, and a
+ * post-retirement store buffer that drains into the L1D. Micro-ops carry
+ * backward dependence distances, so load-to-use chains (pointer chasing in
+ * the tree benchmarks) serialize execution exactly where a real core would
+ * stall.
+ *
+ * Persistence semantics at retirement:
+ *   - stores enter the store buffer (or the SSB when speculating);
+ *   - clwb/clflushopt/clflush walk the hierarchy and push dirty data into
+ *     the memory controller's WPQ, acking asynchronously;
+ *   - pcommit retires immediately but opens a WPQ flush whose ack a later
+ *     sfence must wait for;
+ *   - sfence blocks retirement until the store buffer is empty and every
+ *     earlier persist operation has acked.
+ *
+ * Speculative persistence (paper Section 4): when an sfence is blocked at
+ * the head of the ROB behind an outstanding pcommit and SP is enabled, the
+ * core checkpoints, retires the fence speculatively, and runs on. Stores
+ * and PMEM ops retire into the SSB; loads consult the Bloom filter and pay
+ * the SSB CAM latency on a hit; ordering instructions start child epochs
+ * (one checkpoint per sfence-pcommit-sfence triple thanks to the peephole);
+ * epochs commit oldest-first through the EpochManager. External coherence
+ * probes that hit the BLT abort to the oldest checkpoint.
+ */
+
+#ifndef SP_CPU_OOO_CORE_HH
+#define SP_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/blt.hh"
+#include "core/bloom_filter.hh"
+#include "core/checkpoint.hh"
+#include "core/epoch_manager.hh"
+#include "core/ssb.hh"
+#include "isa/program.hh"
+#include "mem/cache_hierarchy.hh"
+#include "mem/mem_system.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace sp
+{
+
+/** The simulated core: owns the SP structures, drives the whole machine. */
+class OooCore
+{
+  public:
+    /**
+     * @param cfg Full machine configuration.
+     * @param program Dynamic micro-op source (wrapped for replay).
+     * @param caches The cache hierarchy (shared with the epoch manager).
+     * @param mc The memory controller.
+     * @param stats Statistics sink.
+     */
+    OooCore(const SimConfig &cfg, Program &program, CacheHierarchy &caches,
+            MemSystem &mc, Stats &stats);
+
+    /** Run to completion (program exhausted and pipeline drained). */
+    void run();
+
+    /**
+     * Run until at most `cycleLimit` (absolute cycle count) or completion.
+     *
+     * @return true if the run completed before the limit.
+     */
+    bool runUntil(Tick cycleLimit);
+
+    /** All work has been fetched, executed, retired, and drained. */
+    bool done() const;
+
+    /** Current cycle. */
+    Tick now() const { return now_; }
+
+    /** Is the core in speculative-persistence mode right now? */
+    bool speculating() const { return specMode_; }
+
+    /**
+     * Schedule an external coherence probe for the given block at the
+     * given cycle; if it hits the BLT while speculating, the core aborts
+     * to the oldest checkpoint.
+     */
+    void scheduleProbe(Tick atCycle, Addr blockAddr);
+
+    /**
+     * Model another core's coherence traffic: every `period` cycles, probe
+     * a uniformly random block in [base, base+rangeBytes). Deterministic
+     * for a given seed. Disabled by period = 0.
+     */
+    void enablePeriodicProbes(Tick period, Addr base, uint64_t rangeBytes,
+                              uint64_t seed);
+
+    /**
+     * Stream a human-readable event trace (retirements, speculation
+     * enter/exit/abort, epoch boundaries) to `os`; null disables. Meant
+     * for small traces -- every retired op becomes a line.
+     */
+    void setTraceSink(std::ostream *os) { traceSink_ = os; }
+
+    /** Diagnostics for tests. */
+    const SpeculativeStoreBuffer &ssb() const { return ssb_; }
+    const BlockLookupTable &blt() const { return blt_; }
+    const BloomFilter &bloom() const { return bloom_; }
+    const EpochManager &epochs() const { return epochs_; }
+
+  private:
+    /** One in-flight dynamic micro-op. */
+    struct DynOp
+    {
+        MicroOp op;
+        /** Dynamic sequence number after RLE expansion. */
+        uint64_t seq = 0;
+        /** Program cursor just past this op's source (rollback point). */
+        uint64_t nextCursor = 0;
+        bool issued = false;
+        /** Completion tick, valid once issued. */
+        Tick readyAt = 0;
+    };
+
+    /** Entry in the post-retirement store buffer. */
+    struct StoreBufEntry
+    {
+        Addr addr;
+        uint64_t value;
+        uint8_t size;
+    };
+
+    /** A pcommit flush the core has issued and not yet seen acked. */
+    struct FlushFlight
+    {
+        uint64_t id;
+        /** Ack delivery tick; kTickNever until completion is observed. */
+        Tick ackAt = kTickNever;
+    };
+
+    // --- Configuration and external structure references ---------------
+    SimConfig cfg_;
+    ReplayableProgram program_;
+    CacheHierarchy &caches_;
+    MemSystem &mc_;
+    Stats &stats_;
+
+    // --- Speculative persistence hardware -------------------------------
+    SpeculativeStoreBuffer ssb_;
+    CheckpointBuffer checkpoints_;
+    BloomFilter bloom_;
+    BlockLookupTable blt_;
+    EpochManager epochs_;
+
+    // --- Pipeline state --------------------------------------------------
+    Tick now_ = 0;
+    std::deque<DynOp> fetchQ_;
+    std::deque<DynOp> rob_;
+    /** Seqs of dispatched but un-issued ops, program order. */
+    std::deque<uint64_t> unissued_;
+    unsigned lsqCount_ = 0;
+    uint64_t nextSeq_ = 1;
+    /** Remaining repeats of an ALU RLE group being expanded by fetch. */
+    unsigned pendingAlu_ = 0;
+    uint8_t pendingAluDep_ = 0;
+    uint64_t pendingAluCursor_ = 0;
+    bool programEnded_ = false;
+
+    /** Completion-tick ring indexed by seq (for dependence checks). */
+    static constexpr unsigned kRingSize = 8192;
+    std::vector<Tick> doneAt_;
+
+    // --- Post-retirement store path --------------------------------------
+    std::deque<StoreBufEntry> storeBuffer_;
+    bool sbInFlight_ = false;
+    Tick sbHeadDoneAt_ = 0;
+    Addr sbInFlightBlock_ = 0;
+
+    /** Is a store to this block still pending in the store buffer? */
+    bool storePendingTo(Addr blockAddr) const;
+
+    // --- Persist-op bookkeeping (non-speculative) -------------------------
+    std::vector<Tick> persistAcks_;
+    std::vector<FlushFlight> flushes_;
+
+    // --- Speculation state -------------------------------------------------
+    bool specMode_ = false;
+    /** Current epoch contains delayed PMEM ops (forces fence boundaries). */
+    bool epochHasPersistOps_ = false;
+    /** After an abort: hold retirement until pre-spec persists drain. */
+    bool postAbortDrain_ = false;
+
+    uint64_t releasedCursor_ = 0;
+    std::ostream *traceSink_ = nullptr;
+
+    /** Emit one trace line if a sink is attached. */
+    void trace(const char *event, const std::string &detail = "");
+
+    // --- Probe injection ---------------------------------------------------
+    std::multimap<Tick, Addr> probes_;
+    Tick probePeriod_ = 0;
+    Tick nextProbeAt_ = 0;
+    Addr probeBase_ = 0;
+    uint64_t probeRange_ = 0;
+    uint64_t probeRngState_ = 0;
+
+    // --- Per-cycle bookkeeping ----------------------------------------------
+    struct CycleFlags
+    {
+        bool progress = false;
+        bool fetchBlocked = false;
+        bool fenceBlocked = false;
+        bool ssbBlocked = false;
+        bool checkpointBlocked = false;
+        bool sbBlocked = false;
+    };
+    CycleFlags flags_;
+
+    // --- Stages -----------------------------------------------------------
+    void stepCycle();
+    void processProbes();
+    void retireStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+    void drainStoreBuffer();
+    void maybeExitSpeculation();
+    Tick nextEventTick() const;
+    void skipIdleCycles();
+
+    // --- Retirement helpers -------------------------------------------------
+    /** @return true if the head op retired (pop already done). */
+    bool retireHead();
+    bool retireStore(const DynOp &head);
+    bool retireWriteback(const DynOp &head);
+    bool retirePcommit(const DynOp &head);
+    bool retireFence(const DynOp &head);
+    bool retireSpecFence(const DynOp &head);
+    bool retireXchg(const DynOp &head);
+    void popHead();
+    void countRetired(const DynOp &op);
+
+    // --- Conditions ---------------------------------------------------------
+    bool storeBufferEmpty() const;
+    bool persistAcksDone() const;
+    void updateFlushAcks();
+    bool flushesAcked() const;
+    bool anyFlushOutstanding() const;
+    bool preSpecDrained() const;
+
+    // --- Speculation control ---------------------------------------------
+    bool triggerSpeculation(const DynOp &fence);
+    void abortSpeculation();
+    void noteSpecStore(const DynOp &op);
+
+    // --- Utilities -----------------------------------------------------------
+    DynOp *findBySeq(uint64_t seq);
+    bool depReady(const DynOp &op) const;
+    Tick depReadyAt(const DynOp &op) const;
+    void executeOp(DynOp &op);
+    void releaseRetired(uint64_t nextCursor);
+};
+
+} // namespace sp
+
+#endif // SP_CPU_OOO_CORE_HH

@@ -1,0 +1,60 @@
+#include "harness/report.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sp
+{
+
+bool
+maybeWriteCsv(const std::string &name, const Table &table)
+{
+    const char *dir = std::getenv("SP_CSV_DIR");
+    if (!dir)
+        return true;
+    std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    table.writeCsv(out);
+    return static_cast<bool>(out);
+}
+
+std::string
+statsCsvHeader()
+{
+    return "label,cycles,instructions,loads,stores,cacheWritebackOps,"
+           "pcommits,fences,fetchQueueStallCycles,fenceStallCycles,"
+           "ssbFullStallCycles,checkpointStallCycles,"
+           "storeBufferStallCycles,l1dHits,l1dMisses,l2Hits,l2Misses,"
+           "l3Hits,l3Misses,wpqInserts,wpqCoalesced,nvmmWrites,nvmmReads,"
+           "maxInflightPcommits,storesDuringPcommit,epochsStarted,"
+           "epochsCommitted,aborts,ssbEnqueues,ssbMaxOccupancy,specLoads,"
+           "bloomLookups,bloomHits,bloomFalsePositives,ssbForwards,"
+           "spsTriples";
+}
+
+std::string
+statsCsvRow(const std::string &label, const Stats &s)
+{
+    std::ostringstream os;
+    os << label << "," << s.cycles << "," << s.instructions << ","
+       << s.loads << "," << s.stores << "," << s.cacheWritebackOps << ","
+       << s.pcommits << "," << s.fences << "," << s.fetchQueueStallCycles
+       << "," << s.fenceStallCycles << "," << s.ssbFullStallCycles << ","
+       << s.checkpointStallCycles << "," << s.storeBufferStallCycles
+       << "," << s.l1dHits << "," << s.l1dMisses << "," << s.l2Hits << ","
+       << s.l2Misses << "," << s.l3Hits << "," << s.l3Misses << ","
+       << s.wpqInserts << "," << s.wpqCoalesced << "," << s.nvmmWrites
+       << "," << s.nvmmReads << "," << s.maxInflightPcommits << ","
+       << s.storesDuringPcommit << "," << s.epochsStarted << ","
+       << s.epochsCommitted << "," << s.aborts << "," << s.ssbEnqueues
+       << "," << s.ssbMaxOccupancy << "," << s.specLoads << ","
+       << s.bloomLookups << "," << s.bloomHits << ","
+       << s.bloomFalsePositives << "," << s.ssbForwards << ","
+       << s.spsTriples;
+    return os.str();
+}
+
+} // namespace sp

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Machine-readable results export.
+ *
+ * Every bench prints its paper-style table to stdout; setting SP_CSV_DIR
+ * additionally writes each table as a CSV file there, so sweeps can be
+ * plotted or regression-tracked without scraping console output.
+ */
+
+#ifndef SP_HARNESS_REPORT_HH
+#define SP_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/table.hh"
+#include "sim/stats.hh"
+
+namespace sp
+{
+
+/**
+ * Write a table as CSV to SP_CSV_DIR/<name>.csv if SP_CSV_DIR is set.
+ *
+ * @retval true the file was written (or SP_CSV_DIR was unset, a no-op).
+ * @retval false SP_CSV_DIR was set but the file could not be written.
+ */
+bool maybeWriteCsv(const std::string &name, const Table &table);
+
+/** Column header matching statsCsvRow(). */
+std::string statsCsvHeader();
+
+/** One run's counters as a CSV row (same order as statsCsvHeader()). */
+std::string statsCsvRow(const std::string &label, const Stats &stats);
+
+} // namespace sp
+
+#endif // SP_HARNESS_REPORT_HH

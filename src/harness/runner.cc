@@ -1,0 +1,120 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "mem/cache_hierarchy.hh"
+#include "mem/mem_system.hh"
+#include "pmem/layout.hh"
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+RunResult
+runExperiment(const RunConfig &cfg, Tick crashAtCycle)
+{
+    RunResult result;
+
+    auto workload = makeWorkload(cfg.kind, cfg.params);
+    workload->setup();
+
+    // The populated structure is assumed durable at the start of the
+    // measured phase: snapshot the functional image into the NVMM.
+    result.durable = workload->image();
+
+    MemSystem mc(cfg.sim.mem, result.durable);
+    CacheHierarchy caches(cfg.sim, mc);
+    mc.setStats(&result.stats);
+    caches.setStats(&result.stats);
+
+    OooCore core(cfg.sim, workload->program(), caches, mc,
+                 result.stats);
+    if (cfg.probePeriod != 0) {
+        // Target the hot region: workload metadata, the undo log, and the
+        // first stretch of the heap -- where speculative writes live.
+        core.enablePeriodicProbes(cfg.probePeriod, kMetaBase,
+                                  kHeapBase + (4u << 20) - kMetaBase,
+                                  cfg.probeSeed);
+    }
+    if (crashAtCycle != 0) {
+        result.completed = core.runUntil(crashAtCycle);
+    } else {
+        core.run();
+        result.completed = true;
+    }
+
+    result.functionalGeneration = Workload::generation(workload->image());
+    // On a completed run, drain the hierarchy so the durable image holds
+    // the final state (clean shutdown); on a crash, everything volatile
+    // is lost and result.durable stays exactly as the device left it.
+    if (result.completed) {
+        caches.writebackAll();
+        mc.drainAll();
+    }
+    return result;
+}
+
+void
+applyEnvOverrides(WorkloadParams &params)
+{
+    if (const char *ops = std::getenv("SP_OPS")) {
+        uint64_t v = std::strtoull(ops, nullptr, 10);
+        if (v > 0)
+            params.simOps = v;
+    }
+    if (const char *init = std::getenv("SP_INIT")) {
+        params.initOps = std::strtoull(init, nullptr, 10);
+    }
+    if (const char *seed = std::getenv("SP_SEED")) {
+        uint64_t v = std::strtoull(seed, nullptr, 10);
+        if (v > 0)
+            params.seed = v;
+    }
+}
+
+SeedSweep
+runSeedSweep(RunConfig cfg, unsigned runs, uint64_t firstSeed)
+{
+    SP_ASSERT(runs > 0, "seed sweep needs at least one run");
+    SeedSweep out;
+    out.runs = runs;
+    out.minCycles = ~uint64_t(0);
+    std::vector<double> cycles;
+    cycles.reserve(runs);
+    for (unsigned i = 0; i < runs; ++i) {
+        cfg.params.seed = firstSeed + i;
+        RunResult r = runExperiment(cfg);
+        cycles.push_back(static_cast<double>(r.stats.cycles));
+        out.minCycles = std::min(out.minCycles, r.stats.cycles);
+        out.maxCycles = std::max(out.maxCycles, r.stats.cycles);
+    }
+    double sum = 0;
+    for (double c : cycles)
+        sum += c;
+    out.meanCycles = sum / runs;
+    double var = 0;
+    for (double c : cycles)
+        var += (c - out.meanCycles) * (c - out.meanCycles);
+    out.stddevCycles = runs > 1 ? std::sqrt(var / (runs - 1)) : 0.0;
+    return out;
+}
+
+RunConfig
+makeRunConfig(WorkloadKind kind, PersistMode mode, bool sp,
+              unsigned ssbEntries, double scale)
+{
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.params = defaultParams(kind, scale);
+    cfg.params.mode = mode;
+    applyEnvOverrides(cfg.params);
+    cfg.sim.sp.enabled = sp;
+    cfg.sim.sp.ssbEntries = ssbEntries;
+    return cfg;
+}
+
+} // namespace sp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment runner: assembles a full machine (workload + caches + memory
+ * controller + core), runs it, and returns the statistics. This is the
+ * function every bench, test, and example builds on.
+ */
+
+#ifndef SP_HARNESS_RUNNER_HH
+#define SP_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <string>
+
+#include "mem/mem_image.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "workloads/factory.hh"
+
+namespace sp
+{
+
+/** One experiment: a workload variant on a machine configuration. */
+struct RunConfig
+{
+    WorkloadKind kind = WorkloadKind::kLinkedList;
+    WorkloadParams params;
+    SimConfig sim;
+    /**
+     * Failure injection: probe a random heap block every `probePeriod`
+     * cycles (0 = none), modeling coherence traffic from another core.
+     */
+    Tick probePeriod = 0;
+    uint64_t probeSeed = 99;
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    Stats stats;
+    /** The durable NVMM image at the end of the run (or at the crash). */
+    MemImage durable;
+    /** True if the run finished; false if it stopped at crashAtCycle. */
+    bool completed = true;
+    /** Generation counter reached by the volatile (functional) state. */
+    uint64_t functionalGeneration = 0;
+};
+
+/**
+ * Run one experiment end to end.
+ *
+ * @param cfg What to run.
+ * @param crashAtCycle If nonzero, stop the machine at this cycle and
+ *        return the durable image as a crash snapshot (caches and the WPQ
+ *        are lost, exactly as in a power failure).
+ */
+RunResult runExperiment(const RunConfig &cfg, Tick crashAtCycle = 0);
+
+/**
+ * Apply SP_OPS / SP_INIT / SP_SEED environment overrides (used by benches
+ * so paper-scale runs don't require a rebuild).
+ */
+void applyEnvOverrides(WorkloadParams &params);
+
+/** Build a RunConfig for a kind/mode/SP combination with bench defaults. */
+RunConfig makeRunConfig(WorkloadKind kind, PersistMode mode, bool sp,
+                        unsigned ssbEntries = 256, double scale = 1.0);
+
+/** Aggregate of runs over different seeds. */
+struct SeedSweep
+{
+    double meanCycles = 0;
+    double stddevCycles = 0;
+    uint64_t minCycles = 0;
+    uint64_t maxCycles = 0;
+    unsigned runs = 0;
+};
+
+/**
+ * Run the experiment once per seed in [firstSeed, firstSeed+runs) and
+ * aggregate cycle counts -- run-to-run variation comes only from the
+ * workloads' key sequences (the machine itself is deterministic).
+ */
+SeedSweep runSeedSweep(RunConfig cfg, unsigned runs,
+                       uint64_t firstSeed = 1);
+
+} // namespace sp
+
+#endif // SP_HARNESS_RUNNER_HH

@@ -1,0 +1,117 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace sp
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << "\n";
+    };
+    line(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+Table::writeCsv(std::ostream &os) const
+{
+    auto row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    row(headers_);
+    for (const auto &r : rows_)
+        row(r);
+}
+
+std::string
+Table::pct(double overhead)
+{
+    std::ostringstream os;
+    os << (overhead >= 0 ? "+" : "") << std::fixed << std::setprecision(1)
+       << overhead * 100.0 << "%";
+    return os.str();
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+double
+geomeanOverhead(const std::vector<double> &overheads)
+{
+    if (overheads.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double o : overheads)
+        log_sum += std::log(1.0 + o);
+    return std::exp(log_sum / static_cast<double>(overheads.size())) - 1.0;
+}
+
+void
+printConfigBanner(std::ostream &os, const SimConfig &cfg)
+{
+    os << "Baseline system (paper Table 2):\n"
+       << "  Processor   OOO, " << cfg.core.clockMHz / 1000.0 << " GHz, "
+       << cfg.core.issueWidth << "-wide issue/retire\n"
+       << "              ROB: " << cfg.core.robSize
+       << ", fetchQ/issueQ/LSQ: " << cfg.core.fetchQueueSize << "/"
+       << cfg.core.issueQueueSize << "/" << cfg.core.lsqSize << "\n"
+       << "  L1D         " << cfg.l1d.sizeBytes / 1024 << "KB, "
+       << cfg.l1d.ways << "-way, " << cfg.l1d.latency << " cycles\n"
+       << "  L2          " << cfg.l2.sizeBytes / 1024 << "KB, "
+       << cfg.l2.ways << "-way, " << cfg.l2.latency << " cycles\n"
+       << "  L3          " << cfg.l3.sizeBytes / (1024 * 1024) << "MB, "
+       << cfg.l3.ways << "-way, " << cfg.l3.latency << " cycles\n"
+       << "  NVMM        " << cfg.mem.nvmmReadCycles << " cycle read, "
+       << cfg.mem.nvmmWriteCycles << " cycle write, WPQ "
+       << cfg.mem.wpqEntries << " entries\n"
+       << "  SP          "
+       << (cfg.sp.enabled ? "enabled" : "disabled") << ", SSB "
+       << cfg.sp.ssbEntries << " entries ("
+       << ssbLatencyFor(cfg.sp.ssbEntries) << " cycles), "
+       << cfg.sp.checkpoints << " checkpoints, bloom "
+       << cfg.sp.bloomBytes << "B\n\n";
+}
+
+} // namespace sp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Console table formatting for the bench harness: fixed-width columns,
+ * a geometric-mean row matching the paper's figures, and the baseline
+ * configuration banner (Table 2).
+ */
+
+#ifndef SP_HARNESS_TABLE_HH
+#define SP_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace sp
+{
+
+/** Simple fixed-width console table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add one row; cells beyond the header count are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    void print(std::ostream &os) const;
+
+    /** Emit the table as CSV (header row + data rows). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Format a ratio as a percentage overhead ("+25.3%"). */
+    static std::string pct(double overhead);
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Geometric mean of overheads, computed the way the paper does: average
+ * the slowdown ratios geometrically and subtract one.
+ */
+double geomeanOverhead(const std::vector<double> &overheads);
+
+/** Print the Table 2 configuration banner. */
+void printConfigBanner(std::ostream &os, const SimConfig &cfg);
+
+} // namespace sp
+
+#endif // SP_HARNESS_TABLE_HH

@@ -1,0 +1,215 @@
+#include "isa/microop.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+bool
+isPersistOp(OpType t)
+{
+    switch (t) {
+      case OpType::kClwb:
+      case OpType::kClflushOpt:
+      case OpType::kClflush:
+      case OpType::kPcommit:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isOrderingOp(OpType t)
+{
+    switch (t) {
+      case OpType::kSfence:
+      case OpType::kMfence:
+      case OpType::kXchg:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemOp(OpType t)
+{
+    switch (t) {
+      case OpType::kLoad:
+      case OpType::kStore:
+      case OpType::kXchg:
+      case OpType::kClwb:
+      case OpType::kClflushOpt:
+      case OpType::kClflush:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(OpType t)
+{
+    switch (t) {
+      case OpType::kAlu:
+        return "alu";
+      case OpType::kAluChain:
+        return "aluchain";
+      case OpType::kLoad:
+        return "ld";
+      case OpType::kStore:
+        return "st";
+      case OpType::kClwb:
+        return "clwb";
+      case OpType::kClflushOpt:
+        return "clflushopt";
+      case OpType::kClflush:
+        return "clflush";
+      case OpType::kPcommit:
+        return "pcommit";
+      case OpType::kSfence:
+        return "sfence";
+      case OpType::kMfence:
+        return "mfence";
+      case OpType::kXchg:
+        return "xchg";
+    }
+    return "?";
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << opName(type);
+    if (type == OpType::kAlu || type == OpType::kAluChain) {
+        os << " x" << repeat;
+    } else if (isMemOp(type)) {
+        os << " 0x" << std::hex << addr << std::dec;
+        if (type == OpType::kStore || type == OpType::kXchg)
+            os << " <- " << value << " (" << unsigned(size) << "B)";
+        else if (type == OpType::kLoad)
+            os << " (" << unsigned(size) << "B)";
+    }
+    if (dep)
+        os << " dep-" << unsigned(dep);
+    return os.str();
+}
+
+MicroOp
+MicroOp::alu(uint16_t count, uint16_t dep)
+{
+    SP_ASSERT(count >= 1, "alu repeat must be >= 1");
+    MicroOp op;
+    op.type = OpType::kAlu;
+    op.repeat = count;
+    op.dep = dep;
+    return op;
+}
+
+MicroOp
+MicroOp::aluChain(uint16_t count, uint16_t dep)
+{
+    SP_ASSERT(count >= 1, "alu chain must be >= 1");
+    MicroOp op;
+    op.type = OpType::kAluChain;
+    op.repeat = count;
+    op.dep = dep;
+    return op;
+}
+
+MicroOp
+MicroOp::load(Addr a, uint8_t size, uint16_t dep)
+{
+    SP_ASSERT(size >= 1 && size <= kBlockBytes, "bad load size");
+    MicroOp op;
+    op.type = OpType::kLoad;
+    op.addr = a;
+    op.size = size;
+    op.dep = dep;
+    return op;
+}
+
+MicroOp
+MicroOp::store(Addr a, uint64_t value, uint8_t size,
+               uint16_t dep)
+{
+    SP_ASSERT(size >= 1 && size <= 8, "store payload limited to 8 bytes");
+    MicroOp op;
+    op.type = OpType::kStore;
+    op.addr = a;
+    op.value = value;
+    op.size = size;
+    op.dep = dep;
+    return op;
+}
+
+MicroOp
+MicroOp::clwb(Addr a)
+{
+    MicroOp op;
+    op.type = OpType::kClwb;
+    op.addr = blockAlign(a);
+    op.size = kBlockBytes;
+    return op;
+}
+
+MicroOp
+MicroOp::clflushOpt(Addr a)
+{
+    MicroOp op;
+    op.type = OpType::kClflushOpt;
+    op.addr = blockAlign(a);
+    op.size = kBlockBytes;
+    return op;
+}
+
+MicroOp
+MicroOp::clflush(Addr a)
+{
+    MicroOp op;
+    op.type = OpType::kClflush;
+    op.addr = blockAlign(a);
+    op.size = kBlockBytes;
+    return op;
+}
+
+MicroOp
+MicroOp::pcommit()
+{
+    MicroOp op;
+    op.type = OpType::kPcommit;
+    return op;
+}
+
+MicroOp
+MicroOp::sfence()
+{
+    MicroOp op;
+    op.type = OpType::kSfence;
+    return op;
+}
+
+MicroOp
+MicroOp::mfence()
+{
+    MicroOp op;
+    op.type = OpType::kMfence;
+    return op;
+}
+
+MicroOp
+MicroOp::xchg(Addr a, uint64_t value)
+{
+    MicroOp op;
+    op.type = OpType::kXchg;
+    op.addr = a;
+    op.value = value;
+    op.size = 8;
+    return op;
+}
+
+} // namespace sp

@@ -1,0 +1,63 @@
+#include "isa/program.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+TraceProgram::TraceProgram(std::vector<MicroOp> ops) : ops_(std::move(ops))
+{
+}
+
+bool
+TraceProgram::next(MicroOp &op)
+{
+    if (pos_ >= ops_.size())
+        return false;
+    op = ops_[pos_++];
+    return true;
+}
+
+ReplayableProgram::ReplayableProgram(Program &inner) : inner_(inner)
+{
+}
+
+bool
+ReplayableProgram::next(MicroOp &op)
+{
+    if (offset_ < window_.size()) {
+        // Replaying previously fetched ops after a rewind.
+        op = window_[offset_++];
+        return true;
+    }
+    if (!inner_.next(op))
+        return false;
+    window_.push_back(op);
+    ++offset_;
+    return true;
+}
+
+void
+ReplayableProgram::rewind(Cursor c)
+{
+    SP_ASSERT(c >= base_ && c <= base_ + window_.size(),
+              "rewind target not retained: c=", c, " base=", base_,
+              " size=", window_.size());
+    offset_ = static_cast<size_t>(c - base_);
+}
+
+void
+ReplayableProgram::release(Cursor c)
+{
+    SP_ASSERT(c >= base_, "release cursor moved backwards");
+    size_t drop = static_cast<size_t>(c - base_);
+    SP_ASSERT(drop <= offset_, "releasing ops that were not yet delivered");
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<ptrdiff_t>(drop));
+    base_ = c;
+    offset_ -= drop;
+}
+
+} // namespace sp

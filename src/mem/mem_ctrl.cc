@@ -1,0 +1,209 @@
+#include "mem/mem_ctrl.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+MemCtrl::MemCtrl(const MemConfig &cfg, MemImage &durable)
+    : cfg_(cfg), durable_(durable)
+{
+    SP_ASSERT(cfg_.nvmmBanks > 0, "NVMM needs at least one bank");
+    bankFreeAt_.assign(cfg_.nvmmBanks, 0);
+}
+
+unsigned
+MemCtrl::bankOf(Addr blockAddr) const
+{
+    return static_cast<unsigned>((blockAddr / kBlockBytes) %
+                                 cfg_.nvmmBanks);
+}
+
+void
+MemCtrl::advanceTo(Tick now)
+{
+    lastNow_ = std::max(lastNow_, now);
+    for (;;) {
+        // Complete finished writes; in-order dispatch of equal-duration
+        // writes keeps doneAt monotone, so the head finishes first.
+        if (!inflight_.empty() && inflight_.front().doneAt <= now) {
+            InFlight &head = inflight_.front();
+            durable_.writeBlock(head.addr, head.data);
+            drainedSeq_ = head.seq;
+            Tick done = head.doneAt;
+            inflight_.pop_front();
+            if (stats_)
+                ++stats_->nvmmWrites;
+            updateFlushes(done);
+            continue;
+        }
+        // Dispatch the next queued write if its bank is free by now.
+        if (!wpq_.empty()) {
+            WpqEntry &head = wpq_.front();
+            unsigned bank = bankOf(head.addr);
+            Tick start = std::max(bankFreeAt_[bank], head.readyAt);
+            if (start <= now) {
+                InFlight fl;
+                fl.addr = head.addr;
+                fl.seq = head.seq;
+                fl.doneAt = start + cfg_.nvmmWriteCycles;
+                std::memcpy(fl.data, head.data, kBlockBytes);
+                bankFreeAt_[bank] = fl.doneAt;
+                // Keep completion order equal to seq order even when a
+                // later bank would finish sooner.
+                if (!inflight_.empty())
+                    fl.doneAt = std::max(fl.doneAt,
+                                         inflight_.back().doneAt);
+                inflight_.push_back(fl);
+                wpq_.pop_front();
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+Tick
+MemCtrl::nextEventTick() const
+{
+    Tick next = kTickNever;
+    if (!inflight_.empty())
+        next = inflight_.front().doneAt;
+    if (!wpq_.empty()) {
+        const WpqEntry &head = wpq_.front();
+        Tick start = std::max(bankFreeAt_[bankOf(head.addr)],
+                              head.readyAt);
+        next = std::min(next, start + cfg_.nvmmWriteCycles);
+    }
+    return next;
+}
+
+void
+MemCtrl::insertWrite(Addr blockAddr, const uint8_t *data, bool force)
+{
+    SP_ASSERT(blockOffset(blockAddr) == 0, "unaligned WPQ write");
+    // Coalesce into the queue tail when it is the same block (the WPQ
+    // merges same-address writes; the paper relies on this coalescing).
+    // ONLY the tail is safe: merging into an older entry would let the
+    // new data become durable before entries queued in between, breaking
+    // the FIFO persist order the whole design depends on. Tail merging
+    // preserves it -- the new write's ordering constraints are all
+    // against entries at or before the tail.
+    if (!wpq_.empty() && wpq_.back().addr == blockAddr) {
+        std::memcpy(wpq_.back().data, data, kBlockBytes);
+        if (stats_)
+            ++stats_->wpqCoalesced;
+        return;
+    }
+    SP_ASSERT(force || wpqHasSpace(), "WPQ overflow on non-forced write");
+    WpqEntry entry;
+    entry.addr = blockAddr;
+    entry.seq = nextSeq_++;
+    entry.readyAt = lastNow_;
+    std::memcpy(entry.data, data, kBlockBytes);
+    wpq_.push_back(entry);
+    if (stats_)
+        ++stats_->wpqInserts;
+}
+
+Tick
+MemCtrl::read(Addr blockAddr, Tick now)
+{
+    SP_ASSERT(blockOffset(blockAddr) == 0, "unaligned NVMM read");
+    lastNow_ = std::max(lastNow_, now);
+    unsigned bank = bankOf(blockAddr);
+    Tick start = std::max(now, bankFreeAt_[bank]);
+    Tick done = start + cfg_.nvmmReadCycles;
+    bankFreeAt_[bank] = done;
+    if (stats_)
+        ++stats_->nvmmReads;
+    return done;
+}
+
+void
+MemCtrl::readBlockData(Addr blockAddr, uint8_t *out) const
+{
+    durable_.readBlock(blockAddr, out);
+    // Overlay pending writes, oldest to youngest, so the freshest pending
+    // version of the block wins.
+    for (const InFlight &entry : inflight_) {
+        if (entry.addr == blockAddr)
+            std::memcpy(out, entry.data, kBlockBytes);
+    }
+    for (const WpqEntry &entry : wpq_) {
+        if (entry.addr == blockAddr)
+            std::memcpy(out, entry.data, kBlockBytes);
+    }
+}
+
+uint64_t
+MemCtrl::startFlush(Tick now)
+{
+    lastNow_ = std::max(lastNow_, now);
+    uint64_t id = nextFlushId_++;
+    Flush flush;
+    flush.marker = nextSeq_ - 1;
+    flush.complete = drainedSeq_ >= flush.marker;
+    flush.startedAt = now;
+    flushes_.emplace(id, flush);
+    if (flush.complete && stats_)
+        stats_->flushLatency.record(0);
+    if (!flush.complete) {
+        incompleteIds_.push_back(id);
+        ++activeFlushes_;
+        if (stats_) {
+            stats_->maxInflightPcommits =
+                std::max<uint64_t>(stats_->maxInflightPcommits,
+                                   activeFlushes_);
+        }
+    } else if (stats_) {
+        stats_->maxInflightPcommits =
+            std::max<uint64_t>(stats_->maxInflightPcommits, 1);
+    }
+    return id;
+}
+
+bool
+MemCtrl::flushComplete(uint64_t id) const
+{
+    auto it = flushes_.find(id);
+    SP_ASSERT(it != flushes_.end(), "unknown flush id ", id);
+    return it->second.complete;
+}
+
+void
+MemCtrl::updateFlushes(Tick now)
+{
+    auto still_pending = [this, now](uint64_t id) {
+        Flush &flush = flushes_.at(id);
+        if (drainedSeq_ < flush.marker)
+            return true;
+        flush.complete = true;
+        SP_ASSERT(activeFlushes_ > 0, "flush accounting underflow");
+        --activeFlushes_;
+        if (stats_)
+            stats_->flushLatency.record(now - flush.startedAt);
+        return false;
+    };
+    incompleteIds_.erase(std::remove_if(incompleteIds_.begin(),
+                                        incompleteIds_.end(),
+                                        [&](uint64_t id) {
+                                            return !still_pending(id);
+                                        }),
+                         incompleteIds_.end());
+}
+
+void
+MemCtrl::drainAll()
+{
+    while (!wpq_.empty() || !inflight_.empty()) {
+        Tick next = nextEventTick();
+        SP_ASSERT(next != kTickNever, "drainAll stuck");
+        advanceTo(next);
+    }
+}
+
+} // namespace sp

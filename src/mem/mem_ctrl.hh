@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Memory controller with a write-pending queue (WPQ) in front of an NVMM
+ * device.
+ *
+ * Dirty blocks written back from the LLC (or pushed by clwb/clflushopt)
+ * land in the WPQ; they are not durable until the controller drains them
+ * to the device. pcommit places a flush marker: it completes once every
+ * WPQ entry older than the marker has been written to NVMM, which is the
+ * long-latency event the paper speculates past. The device is occupied
+ * serially (50 ns reads, 150 ns writes at 2.1 GHz), so pcommit latency
+ * emerges from queue occupancy rather than being a constant.
+ */
+
+#ifndef SP_MEM_MEM_CTRL_HH
+#define SP_MEM_MEM_CTRL_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_image.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/** Memory controller + NVMM device model. */
+class MemCtrl
+{
+  public:
+    /**
+     * @param cfg Latency and queue parameters.
+     * @param durable Image that receives data only when writes drain.
+     */
+    MemCtrl(const MemConfig &cfg, MemImage &durable);
+
+    /** Attach the statistics sink (may be null). */
+    void setStats(Stats *stats) { stats_ = stats; }
+
+    /**
+     * Advance the controller's internal timeline to `now`, draining as
+     * many WPQ writes as the device completes by then. Must be called
+     * with monotonically non-decreasing `now`.
+     */
+    void advanceTo(Tick now);
+
+    /**
+     * Earliest future tick at which controller state changes on its own
+     * (a drain completing or starting); kTickNever when idle.
+     */
+    Tick nextEventTick() const;
+
+    /** True if the WPQ can accept another write without overflowing. */
+    bool
+    wpqHasSpace() const
+    {
+        return wpq_.size() + inflight_.size() < cfg_.wpqEntries;
+    }
+
+    /**
+     * Enqueue a 64B block write at the current timeline position.
+     *
+     * @param force Evictions must not be lost, so they may transiently
+     *              overfill the queue; clwb-initiated writes pass false
+     *              and must check wpqHasSpace() first.
+     */
+    void insertWrite(Addr blockAddr, const uint8_t *data, bool force);
+
+    /** Current WPQ occupancy in entries (queued + on the device). */
+    size_t wpqOccupancy() const { return wpq_.size() + inflight_.size(); }
+
+    /**
+     * Start a block read at `now`.
+     *
+     * @return Tick at which the data is available at the controller.
+     */
+    Tick read(Addr blockAddr, Tick now);
+
+    /**
+     * Compose fill data: the durable image overlaid with any younger
+     * writes still pending in the WPQ.
+     */
+    void readBlockData(Addr blockAddr, uint8_t *out) const;
+
+    /**
+     * Begin a pcommit flush: all writes currently pending must drain.
+     *
+     * @return Flush identifier to poll with flushComplete().
+     */
+    uint64_t startFlush(Tick now);
+
+    /** True once every write older than the flush marker has drained. */
+    bool flushComplete(uint64_t id) const;
+
+    /** Flushes started but not yet complete. */
+    unsigned outstandingFlushes() const { return activeFlushes_; }
+
+    /** Extra cycles for a command/ack round trip between core and MC. */
+    unsigned roundTrip() const { return cfg_.ctrlRoundTrip; }
+
+    /** Drain everything immediately (used between experiment phases). */
+    void drainAll();
+
+    /** Timeline position of the last advanceTo()/read() call. */
+    Tick currentTick() const { return lastNow_; }
+
+  private:
+    struct WpqEntry
+    {
+        Addr addr;
+        uint64_t seq;
+        /** Tick the entry entered the queue (drain may not start before). */
+        Tick readyAt;
+        uint8_t data[kBlockBytes];
+    };
+
+    /** A write dispatched to an NVMM bank, completing at doneAt. */
+    struct InFlight
+    {
+        Addr addr;
+        uint64_t seq;
+        Tick doneAt;
+        uint8_t data[kBlockBytes];
+    };
+
+    struct Flush
+    {
+        /** All entries with seq <= marker must drain. */
+        uint64_t marker;
+        bool complete;
+        /** Tick the flush was issued (latency statistics). */
+        Tick startedAt;
+    };
+
+    MemConfig cfg_;
+    MemImage &durable_;
+    Stats *stats_ = nullptr;
+
+    std::deque<WpqEntry> wpq_;
+    /** Writes on the device; in-order dispatch keeps doneAt monotone. */
+    std::deque<InFlight> inflight_;
+    uint64_t nextSeq_ = 1;
+    uint64_t drainedSeq_ = 0;
+
+    /** Per-bank busy-until ticks. */
+    std::vector<Tick> bankFreeAt_;
+    /** High-water mark of observed time. */
+    Tick lastNow_ = 0;
+
+    uint64_t nextFlushId_ = 1;
+    std::unordered_map<uint64_t, Flush> flushes_;
+    /** Ids of flushes not yet complete (kept small for fast drain). */
+    std::vector<uint64_t> incompleteIds_;
+    unsigned activeFlushes_ = 0;
+
+    unsigned bankOf(Addr blockAddr) const;
+    void updateFlushes(Tick now);
+};
+
+} // namespace sp
+
+#endif // SP_MEM_MEM_CTRL_HH

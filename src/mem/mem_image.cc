@@ -1,0 +1,115 @@
+#include "mem/mem_image.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+MemImage::MemImage(const MemImage &other)
+{
+    *this = other;
+}
+
+MemImage &
+MemImage::operator=(const MemImage &other)
+{
+    if (this == &other)
+        return *this;
+    pages_.clear();
+    pages_.reserve(other.pages_.size());
+    for (const auto &[num, page] : other.pages_)
+        pages_.emplace(num, std::make_unique<Page>(*page));
+    return *this;
+}
+
+MemImage::Page *
+MemImage::findPage(Addr addr)
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+const MemImage::Page *
+MemImage::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MemImage::Page &
+MemImage::ensurePage(Addr addr)
+{
+    auto &slot = pages_[addr / kPageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+void
+MemImage::read(Addr addr, void *out, unsigned size) const
+{
+    auto *dst = static_cast<uint8_t *>(out);
+    while (size > 0) {
+        unsigned off = static_cast<unsigned>(addr % kPageBytes);
+        unsigned chunk = std::min(size, kPageBytes - off);
+        const Page *page = findPage(addr);
+        if (page)
+            std::memcpy(dst, page->data() + off, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        addr += chunk;
+        dst += chunk;
+        size -= chunk;
+    }
+}
+
+void
+MemImage::write(Addr addr, const void *in, unsigned size)
+{
+    auto *src = static_cast<const uint8_t *>(in);
+    while (size > 0) {
+        unsigned off = static_cast<unsigned>(addr % kPageBytes);
+        unsigned chunk = std::min(size, kPageBytes - off);
+        Page &page = ensurePage(addr);
+        std::memcpy(page.data() + off, src, chunk);
+        addr += chunk;
+        src += chunk;
+        size -= chunk;
+    }
+}
+
+uint64_t
+MemImage::readInt(Addr addr, unsigned size) const
+{
+    SP_ASSERT(size >= 1 && size <= 8, "readInt size out of range");
+    uint64_t v = 0;
+    read(addr, &v, size);
+    return v;
+}
+
+void
+MemImage::writeInt(Addr addr, uint64_t value, unsigned size)
+{
+    SP_ASSERT(size >= 1 && size <= 8, "writeInt size out of range");
+    write(addr, &value, size);
+}
+
+void
+MemImage::readBlock(Addr blockAddr, uint8_t *out) const
+{
+    SP_ASSERT(blockOffset(blockAddr) == 0, "readBlock needs aligned addr");
+    read(blockAddr, out, kBlockBytes);
+}
+
+void
+MemImage::writeBlock(Addr blockAddr, const uint8_t *in)
+{
+    SP_ASSERT(blockOffset(blockAddr) == 0, "writeBlock needs aligned addr");
+    write(blockAddr, in, kBlockBytes);
+}
+
+} // namespace sp

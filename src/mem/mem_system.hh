@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The memory system: one or more memory controllers, block-interleaved.
+ *
+ * The paper's pcommit semantics are explicitly multi-controller:
+ * "pcommit's completion is detected when the write buffers in the memory
+ * controller are flushed and the processor has received acknowledgement
+ * from ALL memory controllers" (Section 2.2). A pcommit therefore
+ * broadcasts a flush marker to every controller and completes only when
+ * each one has drained past its marker. With numMemCtrls = 1 (the
+ * default) this is a thin veneer over MemCtrl.
+ */
+
+#ifndef SP_MEM_MEM_SYSTEM_HH
+#define SP_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_ctrl.hh"
+
+namespace sp
+{
+
+/** Block-interleaved array of memory controllers. */
+class MemSystem
+{
+  public:
+    /**
+     * @param cfg Per-controller latency/queue parameters (numMemCtrls
+     *            selects how many controllers to instantiate).
+     * @param durable Shared durable image (controllers own disjoint
+     *                block sets, so writes never race).
+     */
+    MemSystem(const MemConfig &cfg, MemImage &durable);
+
+    /** Attach the statistics sink (may be null). */
+    void setStats(Stats *stats);
+
+    /** Advance every controller's timeline to `now`. */
+    void advanceTo(Tick now);
+
+    /** Earliest controller-internal event; kTickNever when all idle. */
+    Tick nextEventTick() const;
+
+    /** Can the owning controller accept a write for this block? */
+    bool wpqHasSpace(Addr blockAddr) const;
+
+    /** Enqueue a block write at its owning controller. */
+    void insertWrite(Addr blockAddr, const uint8_t *data, bool force);
+
+    /** Total queued + in-flight writes across controllers. */
+    size_t wpqOccupancy() const;
+
+    /** Start a block read at its owning controller. */
+    Tick read(Addr blockAddr, Tick now);
+
+    /** Fill data: durable image overlaid with the owner's pending writes. */
+    void readBlockData(Addr blockAddr, uint8_t *out) const;
+
+    /**
+     * pcommit: broadcast a flush marker to every controller.
+     *
+     * @return System-level flush id; complete once ALL controllers ack.
+     */
+    uint64_t startFlush(Tick now);
+
+    /** True once every controller drained past its marker. */
+    bool flushComplete(uint64_t id) const;
+
+    /** System-level flushes started but not complete everywhere. */
+    unsigned outstandingFlushes() const;
+
+    /** Command/ack round trip (identical across controllers). */
+    unsigned roundTrip() const { return ctrls_.front()->roundTrip(); }
+
+    /** Drain every controller completely. */
+    void drainAll();
+
+    /** Number of controllers (diagnostics / tests). */
+    unsigned numCtrls() const
+    {
+        return static_cast<unsigned>(ctrls_.size());
+    }
+
+    /** Direct access for controller-level tests. */
+    MemCtrl &ctrl(unsigned i) { return *ctrls_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<MemCtrl>> ctrls_;
+    Stats *stats_ = nullptr;
+
+    uint64_t nextFlushId_ = 1;
+    /** System flush id -> per-controller flush ids (index = ctrl). */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> flushes_;
+
+    unsigned ownerOf(Addr blockAddr) const;
+};
+
+} // namespace sp
+
+#endif // SP_MEM_MEM_SYSTEM_HH

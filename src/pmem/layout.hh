@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fixed NVMM address-space layout shared by workloads and recovery.
+ *
+ * Keeping the metadata and undo-log regions at well-known addresses lets
+ * crash-recovery code interpret a raw durable image without any volatile
+ * state, exactly as a real recovery pass would after a power failure.
+ */
+
+#ifndef SP_PMEM_LAYOUT_HH
+#define SP_PMEM_LAYOUT_HH
+
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/** Base of the simulated NVMM region. */
+constexpr Addr kNvmmBase = 0x10000000;
+
+/** Workload metadata (root pointers, sizes, generation counter). */
+constexpr Addr kMetaBase = kNvmmBase;
+constexpr uint64_t kMetaBytes = 4 * 1024;
+
+/** Undo-log region (header + entries). */
+constexpr Addr kLogBase = kNvmmBase + kMetaBytes;
+constexpr uint64_t kLogBytes = 1024 * 1024;
+
+/** Heap managed by NvmAllocator. */
+constexpr Addr kHeapBase = kLogBase + kLogBytes;
+constexpr uint64_t kHeapBytes = 1ULL << 32;
+
+} // namespace sp
+
+#endif // SP_PMEM_LAYOUT_HH

@@ -1,0 +1,262 @@
+#include "pmem/op_emitter.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+const char *
+persistModeName(PersistMode mode)
+{
+    switch (mode) {
+      case PersistMode::kNone:
+        return "Base";
+      case PersistMode::kLog:
+        return "Log";
+      case PersistMode::kLogP:
+        return "Log+P";
+      case PersistMode::kLogPSf:
+        return "Log+P+Sf";
+    }
+    return "?";
+}
+
+OpEmitter::OpEmitter(MemImage &image, PersistMode mode)
+    : image_(image), mode_(mode)
+{
+}
+
+bool
+OpEmitter::next(MicroOp &op)
+{
+    while (queue_.empty()) {
+        if (finished_ || !generator_)
+            return false;
+        if (!generator_()) {
+            finished_ = true;
+            if (queue_.empty())
+                return false;
+            break;
+        }
+    }
+    op = queue_.front();
+    queue_.pop_front();
+    return true;
+}
+
+uint16_t
+OpEmitter::depDistance(Handle dep) const
+{
+    if (muted_ || dep == kNoDep)
+        return 0;
+    // `dep` is 1 + the producer's op index; the consumer will be op
+    // number emitted_.
+    uint64_t producer = dep - 1;
+    if (producer >= emitted_)
+        return 0;
+    uint64_t distance = emitted_ - producer;
+    if (distance > 4095)
+        return 0;
+    return static_cast<uint16_t>(distance);
+}
+
+void
+OpEmitter::emit(const MicroOp &op)
+{
+    if (muted_ || shadow_)
+        return;
+    queue_.push_back(op);
+    ++emitted_;
+}
+
+std::array<uint8_t, kBlockBytes> &
+OpEmitter::overlayBlock(Addr blockAddr)
+{
+    auto it = overlay_.find(blockAddr);
+    if (it == overlay_.end()) {
+        auto &blk = overlay_[blockAddr];
+        image_.readBlock(blockAddr, blk.data());
+        return blk;
+    }
+    return it->second;
+}
+
+uint64_t
+OpEmitter::shadowRead(Addr addr, unsigned size)
+{
+    Addr blk_addr = blockAlign(addr);
+    SP_ASSERT(blockAlign(addr + size - 1) == blk_addr,
+              "shadow read crosses a block boundary");
+    shadowReads_.push_back(blk_addr);
+    auto it = overlay_.find(blk_addr);
+    if (it == overlay_.end())
+        return image_.readInt(addr, size);
+    uint64_t v = 0;
+    std::copy_n(it->second.data() + blockOffset(addr), size,
+                reinterpret_cast<uint8_t *>(&v));
+    return v;
+}
+
+void
+OpEmitter::shadowWrite(Addr addr, uint64_t value, unsigned size)
+{
+    Addr blk_addr = blockAlign(addr);
+    SP_ASSERT(blockAlign(addr + size - 1) == blk_addr,
+              "shadow write crosses a block boundary");
+    shadowWrites_.push_back(blk_addr);
+    auto &blk = overlayBlock(blk_addr);
+    std::copy_n(reinterpret_cast<const uint8_t *>(&value), size,
+                blk.data() + blockOffset(addr));
+}
+
+void
+OpEmitter::beginShadow()
+{
+    SP_ASSERT(!shadow_, "nested shadow passes are not supported");
+    shadow_ = true;
+    overlay_.clear();
+    shadowReads_.clear();
+    shadowWrites_.clear();
+}
+
+OpEmitter::ShadowResult
+OpEmitter::endShadow()
+{
+    SP_ASSERT(shadow_, "endShadow outside a shadow pass");
+    shadow_ = false;
+    ShadowResult result;
+    result.readBlocks = std::move(shadowReads_);
+    result.writtenBlocks = std::move(shadowWrites_);
+    overlay_.clear();
+    shadowReads_.clear();
+    shadowWrites_.clear();
+    // Deduplicate, preserving nothing about order (callers sort anyway).
+    auto dedup = [](std::vector<Addr> &v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedup(result.readBlocks);
+    dedup(result.writtenBlocks);
+    return result;
+}
+
+uint64_t
+OpEmitter::load(Addr addr, unsigned size, Handle dep, Handle *handle)
+{
+    SP_ASSERT(size >= 1 && size <= 8, "load size out of range");
+    if (shadow_) {
+        if (handle)
+            *handle = kNoDep;
+        return shadowRead(addr, size);
+    }
+    uint64_t value = image_.readInt(addr, size);
+    emit(MicroOp::load(addr, static_cast<uint8_t>(size),
+                       depDistance(dep)));
+    if (handle)
+        *handle = muted_ ? kNoDep : emitted_;
+    return value;
+}
+
+void
+OpEmitter::store(Addr addr, uint64_t value, unsigned size, Handle dep)
+{
+    SP_ASSERT(size >= 1 && size <= 8, "store size out of range");
+    if (shadow_) {
+        shadowWrite(addr, value, size);
+        return;
+    }
+    image_.writeInt(addr, value, size);
+    emit(MicroOp::store(addr, value, static_cast<uint8_t>(size),
+                        depDistance(dep)));
+}
+
+void
+OpEmitter::alu(unsigned count, Handle dep)
+{
+    while (count > 0) {
+        uint16_t chunk =
+            static_cast<uint16_t>(std::min<unsigned>(count, 0xffff));
+        emit(MicroOp::alu(chunk, depDistance(dep)));
+        count -= chunk;
+        dep = kNoDep;
+    }
+}
+
+OpEmitter::Handle
+OpEmitter::aluChain(unsigned count, Handle dep)
+{
+    // One micro-op per chain element: each occupies a ROB slot, so a
+    // stalled fence can only overlap as much serial work as the reorder
+    // buffer actually holds -- compressing the chain into multi-cycle
+    // entries would let fences hide under impossibly deep lookahead.
+    for (unsigned i = 0; i < count; ++i) {
+        emit(MicroOp::aluChain(1, depDistance(dep)));
+        dep = muted_ || shadow_ ? kNoDep : emitted_;
+    }
+    return dep;
+}
+
+void
+OpEmitter::memcpy(Addr dst, Addr src, unsigned len, Handle dep)
+{
+    unsigned off = 0;
+    while (off < len) {
+        unsigned chunk = std::min(8u, len - off);
+        Handle h = kNoDep;
+        uint64_t v = load(src + off, chunk, dep, &h);
+        store(dst + off, v, chunk, h);
+        off += chunk;
+    }
+}
+
+void
+OpEmitter::clwb(Addr addr)
+{
+    if (mode_ < PersistMode::kLogP)
+        return;
+    emit(evictOnPersist_ ? MicroOp::clflushOpt(addr) : MicroOp::clwb(addr));
+}
+
+void
+OpEmitter::clwbRange(Addr addr, unsigned len)
+{
+    if (mode_ < PersistMode::kLogP || len == 0)
+        return;
+    Addr first = blockAlign(addr);
+    Addr last = blockAlign(addr + len - 1);
+    for (Addr blk = first; blk <= last; blk += kBlockBytes)
+        clwb(blk);
+}
+
+void
+OpEmitter::clflushOpt(Addr addr)
+{
+    if (mode_ >= PersistMode::kLogP)
+        emit(MicroOp::clflushOpt(addr));
+}
+
+void
+OpEmitter::pcommit()
+{
+    if (mode_ >= PersistMode::kLogP)
+        emit(MicroOp::pcommit());
+}
+
+void
+OpEmitter::sfence()
+{
+    if (mode_ >= PersistMode::kLogPSf)
+        emit(MicroOp::sfence());
+}
+
+void
+OpEmitter::persistBarrier()
+{
+    sfence();
+    pcommit();
+    sfence();
+}
+
+} // namespace sp

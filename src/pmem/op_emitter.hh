@@ -1,0 +1,204 @@
+/**
+ * @file
+ * OpEmitter: the bridge between functional workload code and the timing
+ * simulator.
+ *
+ * Workload code performs every memory access through this object. Each
+ * access mutates/reads the volatile functional image immediately (the
+ * workload "runs ahead" of timing) and, unless muted, appends a micro-op
+ * the core will later fetch and execute. Persistence instructions are
+ * filtered by PersistMode so one workload implementation yields all four
+ * variants of Figure 8 (baseline, Log, Log+P, Log+P+Sf).
+ *
+ * Loads return a handle that later ops can name as their dependence,
+ * which is how pointer-chasing (tree/list search) serializes in the
+ * pipeline model.
+ */
+
+#ifndef SP_PMEM_OP_EMITTER_HH
+#define SP_PMEM_OP_EMITTER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/microop.hh"
+#include "isa/program.hh"
+#include "mem/mem_image.hh"
+
+namespace sp
+{
+
+/** Which persistence machinery a workload variant includes (Figure 8). */
+enum class PersistMode : uint8_t
+{
+    /** Baseline: no logging, no persistence instructions. */
+    kNone,
+    /** Write-ahead-logging code only. */
+    kLog,
+    /** Logging + clwb/clflushopt/pcommit, but no ordering fences. */
+    kLogP,
+    /** Logging + PMEM instructions + sfences: the fail-safe variant. */
+    kLogPSf,
+};
+
+const char *persistModeName(PersistMode mode);
+
+/** Functional execution + micro-op emission. */
+class OpEmitter : public Program
+{
+  public:
+    /** Handle to a previously emitted op, for dependence chaining. */
+    using Handle = uint64_t;
+    static constexpr Handle kNoDep = 0;
+
+    /**
+     * @param image Volatile functional image.
+     * @param mode Persistence variant to emit.
+     */
+    OpEmitter(MemImage &image, PersistMode mode);
+
+    PersistMode mode() const { return mode_; }
+
+    /**
+     * While muted, accesses update the functional image but emit nothing
+     * (used to fast-forward the #InitOps of Table 1).
+     */
+    void setMuted(bool muted) { muted_ = muted; }
+    bool muted() const { return muted_; }
+
+    /**
+     * Emit clflushopt (write back AND evict) instead of clwb for every
+     * clwb()/clwbRange() call. The paper uses clwb because keeping the
+     * block avoids re-fetching hot metadata; this switch quantifies that
+     * choice (clflush itself is strictly worse, paper footnote 2).
+     */
+    void setEvictOnPersist(bool evict) { evictOnPersist_ = evict; }
+    bool evictOnPersist() const { return evictOnPersist_; }
+
+    /**
+     * Install the generator that refills the op queue: called when the
+     * queue runs dry; returns false when the workload is finished.
+     */
+    void setGenerator(std::function<bool()> gen) { generator_ = std::move(gen); }
+
+    // --- Program interface (consumed by the core's fetch stage) ---------
+    bool next(MicroOp &op) override;
+
+    // --- Functional + emitting accessors ---------------------------------
+    /** Load up to 8 bytes; returns the value. `handle` out: this op. */
+    uint64_t load(Addr addr, unsigned size, Handle dep = kNoDep,
+                  Handle *handle = nullptr);
+
+    /** Store up to 8 bytes. */
+    void store(Addr addr, uint64_t value, unsigned size,
+               Handle dep = kNoDep);
+
+    /** Generic compute: `count` independent single-cycle ops. */
+    void alu(unsigned count, Handle dep = kNoDep);
+
+    /**
+     * Serial compute: a chain of `count` dependent single-cycle ops
+     * (executes in ~count cycles regardless of issue width).
+     *
+     * @return Handle of the chain's last op, so further work -- including
+     *         the next operation's chain -- can serialize behind it.
+     */
+    Handle aluChain(unsigned count, Handle dep = kNoDep);
+
+    /**
+     * Copy `len` bytes between NVMM locations in 8-byte chunks (loads
+     * chained to `dep`, stores to each load).
+     */
+    void memcpy(Addr dst, Addr src, unsigned len, Handle dep = kNoDep);
+
+    // --- Persistence instructions (filtered by mode) ---------------------
+    /** clwb of the block containing addr; emitted for kLogP and up. */
+    void clwb(Addr addr);
+
+    /** clwb every block overlapping [addr, addr+len). */
+    void clwbRange(Addr addr, unsigned len);
+
+    /** clflushopt of the block containing addr. */
+    void clflushOpt(Addr addr);
+
+    /** pcommit alone; emitted for kLogP and up. */
+    void pcommit();
+
+    /** sfence; emitted only for kLogPSf. */
+    void sfence();
+
+    /**
+     * Full persist barrier: sfence; pcommit; sfence (paper Section 2.2).
+     * kLogP emits only the pcommit; kLog/kNone emit nothing.
+     */
+    void persistBarrier();
+
+    // --- Introspection ----------------------------------------------------
+    /** Ops emitted so far (handles are indices into this count). */
+    uint64_t emitted() const { return emitted_; }
+
+    /** Direct functional image access (for checkers; no emission). */
+    MemImage &image() { return image_; }
+    const MemImage &image() const { return image_; }
+
+    /** Ops waiting to be fetched (diagnostics). */
+    size_t queued() const { return queue_.size(); }
+
+    // --- Shadow execution -------------------------------------------------
+    /**
+     * Blocks touched by a shadow pass. Tree workloads dry-run an operation
+     * in shadow mode to learn the exact set of blocks it reads and writes;
+     * that set becomes the undo log ("conservatively log all nodes that
+     * may be required for rebalancing", paper Section 3.2), after which
+     * the operation re-executes for real.
+     */
+    struct ShadowResult
+    {
+        std::vector<Addr> readBlocks;
+        std::vector<Addr> writtenBlocks;
+    };
+
+    /**
+     * Enter shadow mode: loads see an overlay over the image, stores go
+     * only to the overlay, nothing is emitted, and touched blocks are
+     * recorded.
+     */
+    void beginShadow();
+
+    /** Leave shadow mode, discarding the overlay. */
+    ShadowResult endShadow();
+
+    bool inShadow() const { return shadow_; }
+
+  private:
+    MemImage &image_;
+    PersistMode mode_;
+    bool muted_ = false;
+    std::deque<MicroOp> queue_;
+    std::function<bool()> generator_;
+    uint64_t emitted_ = 0;
+    bool finished_ = false;
+
+    bool evictOnPersist_ = false;
+    bool shadow_ = false;
+    std::unordered_map<Addr, std::array<uint8_t, kBlockBytes>> overlay_;
+    std::vector<Addr> shadowReads_;
+    std::vector<Addr> shadowWrites_;
+
+    uint64_t shadowRead(Addr addr, unsigned size);
+    void shadowWrite(Addr addr, uint64_t value, unsigned size);
+    std::array<uint8_t, kBlockBytes> &overlayBlock(Addr blockAddr);
+
+    /** Convert a handle into a backward distance for the op being built. */
+    uint16_t depDistance(Handle dep) const;
+
+    void emit(const MicroOp &op);
+};
+
+} // namespace sp
+
+#endif // SP_PMEM_OP_EMITTER_HH

@@ -1,0 +1,57 @@
+#include "pmem/recovery.hh"
+
+#include <vector>
+
+#include "pmem/layout.hh"
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+RecoveryResult
+recoverImage(MemImage &image)
+{
+    RecoveryResult result;
+    uint64_t logged_bit = image.readInt(kLogBase, 8);
+    if (logged_bit == 0)
+        return result;
+
+    result.undone = true;
+    uint64_t count = image.readInt(kLogBase + 8, 8);
+
+    struct Entry
+    {
+        Addr target;
+        uint64_t len;
+        Addr data;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(count);
+
+    Addr cursor = kLogBase + kBlockBytes;
+    for (uint64_t i = 0; i < count; ++i) {
+        Entry entry;
+        entry.target = image.readInt(cursor, 8);
+        entry.len = image.readInt(cursor + 8, 8);
+        entry.data = cursor + 16;
+        cursor = entry.data + (entry.len + 7) / 8 * 8;
+        SP_ASSERT(cursor <= kLogBase + kLogBytes,
+                  "corrupt undo log: entries overrun the log region");
+        entries.push_back(entry);
+    }
+
+    // Apply in reverse so the oldest logged value of any byte wins.
+    std::vector<uint8_t> buf;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        buf.resize(it->len);
+        image.read(it->data, buf.data(), static_cast<unsigned>(it->len));
+        image.write(it->target, buf.data(),
+                    static_cast<unsigned>(it->len));
+        ++result.entriesApplied;
+    }
+
+    image.writeInt(kLogBase, 0, 8);
+    return result;
+}
+
+} // namespace sp

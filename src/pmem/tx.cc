@@ -1,0 +1,82 @@
+#include "pmem/tx.hh"
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+Tx::Tx(OpEmitter &em) : em_(em)
+{
+}
+
+void
+Tx::begin()
+{
+    if (!active())
+        return;
+    count_ = 0;
+    cursor_ = kLogBase + kBlockBytes;
+}
+
+void
+Tx::logRange(Addr addr, unsigned len)
+{
+    if (!active() || len == 0)
+        return;
+    uint64_t padded = (len + 7) / 8 * 8;
+    SP_ASSERT(cursor_ + 16 + padded <= kLogBase + kLogBytes,
+              "undo log exhausted");
+
+    // Log-management code: entry setup, cursor arithmetic.
+    em_.aluChain(12);
+
+    // Packed entry: descriptor words, then the original data.
+    em_.store(cursor_, addr, 8);
+    em_.store(cursor_ + 8, len, 8);
+    Addr data = cursor_ + 16;
+    em_.memcpy(data, addr, len);
+
+    // clwb every block the entry touches (Table 1: one clwb per 64B
+    // logged node; packing makes trailing blocks shared across entries,
+    // and re-clwb of a clean block costs no NVMM write).
+    em_.clwbRange(cursor_, 16 + static_cast<unsigned>(padded));
+
+    cursor_ = data + padded;
+    ++count_;
+}
+
+void
+Tx::seal()
+{
+    if (!active())
+        return;
+    em_.aluChain(10);
+    // Persist the entry count together with the log contents.
+    em_.store(kLogBase + 8, count_, 8);
+    em_.clwb(kLogBase);
+    em_.persistBarrier(); // step 1: the undo log is durable
+
+    em_.store(kLogBase, 1, 8); // logged_bit = 1
+    em_.clwb(kLogBase);
+    em_.persistBarrier(); // step 2: the transaction has begun
+}
+
+void
+Tx::commitUpdates()
+{
+    if (!active())
+        return;
+    em_.persistBarrier(); // step 3: the updates are durable
+}
+
+void
+Tx::end()
+{
+    if (!active())
+        return;
+    em_.store(kLogBase, 0, 8); // logged_bit = 0
+    em_.clwb(kLogBase);
+    em_.persistBarrier(); // step 4: the transaction is complete
+}
+
+} // namespace sp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Write-ahead-logging transactions (paper Section 3.1).
+ *
+ * The four strictly ordered steps, each ending in a persist barrier:
+ *   1. write the undo log and make it durable;
+ *   2. set logged_bit and make it durable (transaction has begun);
+ *   3. apply the updates and make them durable (the caller emits the
+ *      data stores and clwbs between seal() and commitUpdates());
+ *   4. clear logged_bit and make it durable (transaction complete).
+ *
+ * Each transaction therefore issues 4 pcommits and 8 sfences in the
+ * Log+P+Sf variant. In lesser PersistModes the same call sequence emits
+ * only the corresponding subset (no fences, or no PMEM ops, or no log).
+ *
+ * Undo-log layout at kLogBase:
+ *   header block: +0 logged_bit (8B), +8 entry count (8B)
+ *   entries, packed sequentially from kLogBase+64: {addr(8), len(8),
+ *   data[len] (8B-aligned)}.
+ */
+
+#ifndef SP_PMEM_TX_HH
+#define SP_PMEM_TX_HH
+
+#include "pmem/layout.hh"
+#include "pmem/op_emitter.hh"
+
+namespace sp
+{
+
+/** One software write-ahead-logging transaction context (reusable). */
+class Tx
+{
+  public:
+    explicit Tx(OpEmitter &em);
+
+    /** Start a new transaction: reset the entry cursor. */
+    void begin();
+
+    /**
+     * Undo-log `len` bytes at `addr` (copies the *current* contents into
+     * the log and clwbs the written log blocks).
+     */
+    void logRange(Addr addr, unsigned len);
+
+    /**
+     * Step 1 + 2: persist the log (count + barrier), then set logged_bit
+     * and persist it. After this call the caller applies its updates.
+     */
+    void seal();
+
+    /** Step 3: barrier making the caller's updates durable. */
+    void commitUpdates();
+
+    /** Step 4: clear logged_bit and persist it. */
+    void end();
+
+    /** Entries logged in the current transaction. */
+    unsigned entries() const { return count_; }
+
+  private:
+    OpEmitter &em_;
+    unsigned count_ = 0;
+    Addr cursor_ = kLogBase + kBlockBytes;
+
+    bool active() const { return em_.mode() >= PersistMode::kLog; }
+};
+
+} // namespace sp
+
+#endif // SP_PMEM_TX_HH

@@ -1,0 +1,23 @@
+#include "sim/config.hh"
+
+namespace sp
+{
+
+unsigned
+ssbLatencyFor(unsigned entries)
+{
+    // Table 3: 32->2, 64->3, 128->4, 256->5, 512->7, 1024->10.
+    if (entries <= 32)
+        return 2;
+    if (entries <= 64)
+        return 3;
+    if (entries <= 128)
+        return 4;
+    if (entries <= 256)
+        return 5;
+    if (entries <= 512)
+        return 7;
+    return 10;
+}
+
+} // namespace sp

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Simulation configuration structures.
+ *
+ * Defaults reproduce Table 2 (baseline system) and Table 3 (SSB size vs.
+ * access latency) of the paper. All parameters are plain data so tests and
+ * benches can sweep them freely.
+ */
+
+#ifndef SP_SIM_CONFIG_HH
+#define SP_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/** Out-of-order core parameters (Table 2, "Processor" row). */
+struct CoreConfig
+{
+    /** Instructions fetched per cycle into the fetch queue. */
+    unsigned fetchWidth = 4;
+    /** Instructions dispatched from the fetch queue per cycle. */
+    unsigned dispatchWidth = 4;
+    /** Instructions that may begin execution per cycle. */
+    unsigned issueWidth = 4;
+    /** Instructions retired in order per cycle. */
+    unsigned retireWidth = 4;
+    /** Reorder buffer capacity. */
+    unsigned robSize = 128;
+    /** Fetch queue capacity. */
+    unsigned fetchQueueSize = 48;
+    /** Issue queue capacity (instructions dispatched but not executed). */
+    unsigned issueQueueSize = 48;
+    /** Load/store queue capacity. */
+    unsigned lsqSize = 48;
+    /** Post-retirement store buffer capacity (drains into L1D). */
+    unsigned storeBufferSize = 16;
+    /** Core clock in MHz (2.1 GHz). */
+    unsigned clockMHz = 2100;
+};
+
+/** One cache level. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    uint64_t sizeBytes = 0;
+    /** Set associativity. */
+    unsigned ways = 0;
+    /** Access (hit) latency in cycles. */
+    unsigned latency = 0;
+};
+
+/** Memory controller and NVMM device parameters. */
+struct MemConfig
+{
+    /** NVMM read latency in core cycles (50 ns at 2.1 GHz). */
+    unsigned nvmmReadCycles = 105;
+    /** NVMM write latency in core cycles (150 ns at 2.1 GHz). */
+    unsigned nvmmWriteCycles = 315;
+    /** Write-pending-queue depth in 64B entries. */
+    unsigned wpqEntries = 64;
+    /**
+     * Independent NVMM banks: writes to different banks overlap, so WPQ
+     * drain bandwidth approaches banks/writeLatency while per-write
+     * durability latency stays nvmmWriteCycles.
+     */
+    unsigned nvmmBanks = 32;
+    /**
+     * Independent memory controllers, block-interleaved. pcommit must be
+     * acknowledged by ALL of them (paper Section 2.2).
+     */
+    unsigned numMemCtrls = 1;
+    /** Round-trip command/ack overhead between core and controller. */
+    unsigned ctrlRoundTrip = 10;
+};
+
+/** Speculative-persistence hardware parameters. */
+struct SpConfig
+{
+    /** Master enable: speculate past stalled persist barriers. */
+    bool enabled = false;
+    /** Speculative store buffer entries (Table 3 column). */
+    unsigned ssbEntries = 256;
+    /** Checkpoint buffer entries (Table 2: 4). */
+    unsigned checkpoints = 4;
+    /** Bloom filter size in bytes (paper: 512 B). */
+    unsigned bloomBytes = 512;
+    /** Hash functions used by the Bloom filter. */
+    unsigned bloomHashes = 2;
+    /**
+     * Enable the sfence-pcommit-sfence peephole that spends a single
+     * checkpoint on the whole triple (paper Section 4.2.2). Exposed so the
+     * ablation bench can turn it off.
+     */
+    bool spsPeephole = true;
+    /**
+     * Paper-literal commit engine: an epoch's SSB entries drain only once
+     * the epoch is oldest and its gate is satisfied, and a delayed pcommit
+     * stalls the drain until its flush completes. The default (false) is
+     * the pipelined engine: entries drain eagerly in FIFO order and only
+     * the checkpoint release waits for the flush -- persist ORDER is
+     * identical (the WPQ is FIFO), but flush latencies overlap, which is
+     * what Figure 11's concurrent pcommits imply the design needs.
+     */
+    bool strictCommit = false;
+};
+
+/** Top-level simulation configuration. */
+struct SimConfig
+{
+    CoreConfig core;
+    CacheConfig l1d{32 * 1024, 8, 2};
+    CacheConfig l2{256 * 1024, 8, 11};
+    CacheConfig l3{2 * 1024 * 1024, 16, 20};
+    MemConfig mem;
+    SpConfig sp;
+    /** Safety valve: abort the run after this many cycles (0 = unlimited). */
+    Tick maxCycles = 0;
+};
+
+/**
+ * SSB access latency for a given entry count (Table 3).
+ *
+ * Sizes between table points use the next-larger documented latency.
+ *
+ * @param entries SSB capacity in entries.
+ * @return CAM+RAM access latency in cycles.
+ */
+unsigned ssbLatencyFor(unsigned entries);
+
+} // namespace sp
+
+#endif // SP_SIM_CONFIG_HH

@@ -1,0 +1,86 @@
+#include "sim/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+
+namespace sp
+{
+
+unsigned
+Histogram::bucketOf(uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    unsigned b = 64 - static_cast<unsigned>(std::countl_zero(value));
+    return std::min(b, kBuckets - 1);
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    ++buckets_[bucketOf(value)];
+    ++samples_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(samples_);
+}
+
+uint64_t
+Histogram::percentileUpperBound(double fraction) const
+{
+    if (samples_ == 0)
+        return 0;
+    uint64_t target =
+        static_cast<uint64_t>(fraction * static_cast<double>(samples_));
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return i == 0 ? 1 : (uint64_t(1) << i);
+    }
+    return max_;
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    if (samples_ == 0) {
+        os << prefix << "(no samples)\n";
+        return;
+    }
+    uint64_t largest = *std::max_element(buckets_.begin(), buckets_.end());
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        uint64_t lo = i == 0 ? 0 : (uint64_t(1) << (i - 1));
+        uint64_t hi = uint64_t(1) << i;
+        unsigned bar = static_cast<unsigned>(40 * buckets_[i] / largest);
+        os << prefix << "[" << std::setw(7) << lo << "," << std::setw(7)
+           << hi << ") " << std::setw(8) << buckets_[i] << " "
+           << std::string(bar, '#') << "\n";
+    }
+    os << prefix << "samples " << samples_ << ", mean "
+       << static_cast<uint64_t>(mean()) << ", min " << min() << ", max "
+       << max_ << "\n";
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    samples_ = 0;
+    sum_ = 0;
+    min_ = ~uint64_t(0);
+    max_ = 0;
+}
+
+} // namespace sp

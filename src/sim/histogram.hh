@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Power-of-two bucketed histogram for latency distributions (gem5-style
+ * Distribution stat, simplified). Used to characterize pcommit flush
+ * latency -- the quantity the paper describes as taking "100s to 1000s
+ * of cycles" and the direct motivation for speculative persistence.
+ */
+
+#ifndef SP_SIM_HISTOGRAM_HH
+#define SP_SIM_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace sp
+{
+
+/** Histogram with buckets [0,1), [1,2), [2,4), ... [2^30, inf). */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 32;
+
+    /** Record one sample. */
+    void record(uint64_t value);
+
+    uint64_t samples() const { return samples_; }
+    uint64_t min() const { return samples_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const;
+
+    /** Count in bucket `i` ([2^(i-1), 2^i) for i >= 1). */
+    uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+
+    /** Smallest value that at least `fraction` of samples are <= to. */
+    uint64_t percentileUpperBound(double fraction) const;
+
+    /** Render an ASCII bar chart of the non-empty buckets. */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t samples_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~uint64_t(0);
+    uint64_t max_ = 0;
+
+    static unsigned bucketOf(uint64_t value);
+};
+
+} // namespace sp
+
+#endif // SP_SIM_HISTOGRAM_HH

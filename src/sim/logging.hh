@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - the simulator itself is broken; aborts.
+ * fatal()  - the user asked for something impossible; exits with an error.
+ * warn()   - something suspicious happened but the run can continue.
+ */
+
+#ifndef SP_SIM_LOGGING_HH
+#define SP_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace sp
+{
+
+/** Internal invariant violated: print and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Unusable configuration or input: print and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Non-fatal diagnostic to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace sp
+
+#define SP_PANIC(...) \
+    ::sp::panicImpl(__FILE__, __LINE__, ::sp::detail::format(__VA_ARGS__))
+
+#define SP_FATAL(...) \
+    ::sp::fatalImpl(__FILE__, __LINE__, ::sp::detail::format(__VA_ARGS__))
+
+#define SP_WARN(...) \
+    ::sp::warnImpl(__FILE__, __LINE__, ::sp::detail::format(__VA_ARGS__))
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define SP_ASSERT(cond, ...)                                             \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::sp::panicImpl(__FILE__, __LINE__,                          \
+                            ::sp::detail::format("assertion failed: ",   \
+                                                 #cond, " ",             \
+                                                 ##__VA_ARGS__));        \
+        }                                                                \
+    } while (0)
+
+#endif // SP_SIM_LOGGING_HH

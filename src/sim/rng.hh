@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads and tests.
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so
+ * workloads never touch std::rand or random_device; they draw from this
+ * xoshiro256** generator seeded explicitly.
+ */
+
+#ifndef SP_SIM_RNG_HH
+#define SP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace sp
+{
+
+/** Deterministic xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same sequence. */
+    explicit Rng(uint64_t seed = 1);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with the given probability (clamped to [0,1]). */
+    bool nextBool(double probability);
+
+  private:
+    uint64_t s_[4];
+
+    static uint64_t splitMix(uint64_t &state);
+};
+
+} // namespace sp
+
+#endif // SP_SIM_RNG_HH

@@ -1,0 +1,102 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace sp
+{
+
+double
+Stats::instructionRatio(const Stats &base) const
+{
+    if (base.instructions == 0)
+        return 0.0;
+    return static_cast<double>(instructions) /
+        static_cast<double>(base.instructions);
+}
+
+double
+Stats::fetchStallRatio(const Stats &base) const
+{
+    if (base.cycles == 0)
+        return 0.0;
+    return static_cast<double>(fetchQueueStallCycles) /
+        static_cast<double>(base.cycles);
+}
+
+double
+Stats::overheadVs(const Stats &base) const
+{
+    if (base.cycles == 0)
+        return 0.0;
+    return static_cast<double>(cycles) / static_cast<double>(base.cycles) -
+        1.0;
+}
+
+double
+Stats::storesPerPcommit() const
+{
+    if (pcommits == 0)
+        return 0.0;
+    return static_cast<double>(storesDuringPcommit) /
+        static_cast<double>(pcommits);
+}
+
+double
+Stats::bloomFalsePositiveRate() const
+{
+    if (bloomLookups == 0)
+        return 0.0;
+    return static_cast<double>(bloomFalsePositives) /
+        static_cast<double>(bloomLookups);
+}
+
+void
+Stats::print(std::ostream &os, const std::string &prefix) const
+{
+    auto line = [&](const char *name, auto value) {
+        os << prefix << std::left << std::setw(28) << name << value << "\n";
+    };
+    line("cycles", cycles);
+    line("instructions", instructions);
+    line("loads", loads);
+    line("stores", stores);
+    line("cacheWritebackOps", cacheWritebackOps);
+    line("pcommits", pcommits);
+    line("fences", fences);
+    line("fetchQueueStallCycles", fetchQueueStallCycles);
+    line("fenceStallCycles", fenceStallCycles);
+    line("ssbFullStallCycles", ssbFullStallCycles);
+    line("checkpointStallCycles", checkpointStallCycles);
+    line("storeBufferStallCycles", storeBufferStallCycles);
+    line("l1dHits", l1dHits);
+    line("l1dMisses", l1dMisses);
+    line("l2Hits", l2Hits);
+    line("l2Misses", l2Misses);
+    line("l3Hits", l3Hits);
+    line("l3Misses", l3Misses);
+    line("wpqInserts", wpqInserts);
+    line("wpqCoalesced", wpqCoalesced);
+    line("nvmmWrites", nvmmWrites);
+    line("nvmmReads", nvmmReads);
+    line("maxInflightPcommits", maxInflightPcommits);
+    line("storesDuringPcommit", storesDuringPcommit);
+    line("epochsStarted", epochsStarted);
+    line("epochsCommitted", epochsCommitted);
+    line("aborts", aborts);
+    line("ssbEnqueues", ssbEnqueues);
+    line("ssbMaxOccupancy", ssbMaxOccupancy);
+    line("specLoads", specLoads);
+    line("bloomLookups", bloomLookups);
+    line("bloomHits", bloomHits);
+    line("bloomFalsePositives", bloomFalsePositives);
+    line("ssbForwards", ssbForwards);
+    line("spsTriples", spsTriples);
+    if (flushLatency.samples() > 0) {
+        line("flushLatencySamples", flushLatency.samples());
+        line("flushLatencyMean",
+             static_cast<uint64_t>(flushLatency.mean()));
+        line("flushLatencyMax", flushLatency.max());
+    }
+}
+
+} // namespace sp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator subsystem.
+ */
+
+#ifndef SP_SIM_TYPES_HH
+#define SP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace sp
+{
+
+/** Simulated time, measured in core clock cycles. */
+using Tick = uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = uint64_t;
+
+/** Sentinel for "no tick scheduled / never". */
+constexpr Tick kTickNever = ~Tick(0);
+
+/** Cache block size used throughout the hierarchy (Table 2). */
+constexpr unsigned kBlockBytes = 64;
+
+/** Mask an address down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~Addr(kBlockBytes - 1);
+}
+
+/** Byte offset of an address within its cache block. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & Addr(kBlockBytes - 1));
+}
+
+} // namespace sp
+
+#endif // SP_SIM_TYPES_HH

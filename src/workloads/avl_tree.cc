@@ -1,0 +1,334 @@
+#include "workloads/avl_tree.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+AvlTreeWorkload::AvlTreeWorkload(const WorkloadParams &params,
+                                 uint64_t keyRange)
+    : TreeWorkload(params, keyRange)
+{
+}
+
+void
+AvlTreeWorkload::create()
+{
+    em_.store(kMeta + 0, 0, 8); // root
+    em_.store(kMeta + 8, 0, 8); // size
+}
+
+uint64_t
+AvlTreeWorkload::field(Addr n, unsigned off, OpEmitter::Handle dep,
+                       OpEmitter::Handle *h)
+{
+    return em_.load(n + off, 8, dep, h);
+}
+
+void
+AvlTreeWorkload::setField(Addr n, unsigned off, uint64_t v,
+                          OpEmitter::Handle dep)
+{
+    em_.store(n + off, v, 8, dep);
+}
+
+uint64_t
+AvlTreeWorkload::heightOf(Addr n, OpEmitter::Handle dep)
+{
+    if (n == 0)
+        return 0;
+    return field(n, kHeight, dep);
+}
+
+void
+AvlTreeWorkload::updateHeight(Addr n)
+{
+    OpEmitter::Handle hl = OpEmitter::kNoDep;
+    OpEmitter::Handle hr = OpEmitter::kNoDep;
+    Addr l = field(n, kLeft, OpEmitter::kNoDep, &hl);
+    Addr r = field(n, kRight, OpEmitter::kNoDep, &hr);
+    uint64_t h = 1 + std::max(heightOf(l, hl), heightOf(r, hr));
+    em_.alu(2);
+    if (h != field(n, kHeight))
+        setField(n, kHeight, h);
+}
+
+Addr
+AvlTreeWorkload::rotateLeft(Addr n)
+{
+    OpEmitter::Handle h = OpEmitter::kNoDep;
+    Addr r = field(n, kRight, OpEmitter::kNoDep, &h);
+    Addr rl = field(r, kLeft, h);
+    setField(n, kRight, rl);
+    setField(r, kLeft, n);
+    updateHeight(n);
+    updateHeight(r);
+    return r;
+}
+
+Addr
+AvlTreeWorkload::rotateRight(Addr n)
+{
+    OpEmitter::Handle h = OpEmitter::kNoDep;
+    Addr l = field(n, kLeft, OpEmitter::kNoDep, &h);
+    Addr lr = field(l, kRight, h);
+    setField(n, kLeft, lr);
+    setField(l, kRight, n);
+    updateHeight(n);
+    updateHeight(l);
+    return l;
+}
+
+Addr
+AvlTreeWorkload::rebalance(Addr n)
+{
+    updateHeight(n);
+    OpEmitter::Handle hl = OpEmitter::kNoDep;
+    OpEmitter::Handle hr = OpEmitter::kNoDep;
+    Addr l = field(n, kLeft, OpEmitter::kNoDep, &hl);
+    Addr r = field(n, kRight, OpEmitter::kNoDep, &hr);
+    int64_t bf = static_cast<int64_t>(heightOf(l, hl)) -
+        static_cast<int64_t>(heightOf(r, hr));
+    em_.alu(3);
+    if (bf > 1) {
+        // Left heavy.
+        OpEmitter::Handle hll = OpEmitter::kNoDep;
+        OpEmitter::Handle hlr = OpEmitter::kNoDep;
+        Addr ll = field(l, kLeft, hl, &hll);
+        Addr lr = field(l, kRight, hl, &hlr);
+        if (heightOf(lr, hlr) > heightOf(ll, hll))
+            setField(n, kLeft, rotateLeft(l));
+        return rotateRight(n);
+    }
+    if (bf < -1) {
+        // Right heavy.
+        OpEmitter::Handle hrl = OpEmitter::kNoDep;
+        OpEmitter::Handle hrr = OpEmitter::kNoDep;
+        Addr rl = field(r, kLeft, hr, &hrl);
+        Addr rr = field(r, kRight, hr, &hrr);
+        if (heightOf(rl, hrl) > heightOf(rr, hrr))
+            setField(n, kRight, rotateRight(r));
+        return rotateLeft(n);
+    }
+    return n;
+}
+
+Addr
+AvlTreeWorkload::insertRec(Addr n, Addr fresh, uint64_t key,
+                           OpEmitter::Handle dep)
+{
+    if (n == 0)
+        return fresh;
+    OpEmitter::Handle kh = OpEmitter::kNoDep;
+    uint64_t nkey = field(n, kKey, dep, &kh);
+    em_.alu(2, kh);
+    if (key < nkey) {
+        OpEmitter::Handle ch = OpEmitter::kNoDep;
+        Addr child = field(n, kLeft, kh, &ch);
+        Addr sub = insertRec(child, fresh, key, ch);
+        if (sub != child)
+            setField(n, kLeft, sub);
+    } else {
+        OpEmitter::Handle ch = OpEmitter::kNoDep;
+        Addr child = field(n, kRight, kh, &ch);
+        Addr sub = insertRec(child, fresh, key, ch);
+        if (sub != child)
+            setField(n, kRight, sub);
+    }
+    return rebalance(n);
+}
+
+Addr
+AvlTreeWorkload::removeMinRec(Addr n, Addr *minOut)
+{
+    OpEmitter::Handle lh = OpEmitter::kNoDep;
+    Addr l = field(n, kLeft, OpEmitter::kNoDep, &lh);
+    if (l == 0) {
+        *minOut = n;
+        return field(n, kRight, lh);
+    }
+    Addr sub = removeMinRec(l, minOut);
+    if (sub != l)
+        setField(n, kLeft, sub);
+    return rebalance(n);
+}
+
+Addr
+AvlTreeWorkload::removeRec(Addr n, uint64_t key, OpEmitter::Handle dep)
+{
+    SP_ASSERT(n != 0, "removeRec on an absent key");
+    OpEmitter::Handle kh = OpEmitter::kNoDep;
+    uint64_t nkey = field(n, kKey, dep, &kh);
+    em_.alu(2, kh);
+    if (key < nkey) {
+        OpEmitter::Handle ch = OpEmitter::kNoDep;
+        Addr child = field(n, kLeft, kh, &ch);
+        Addr sub = removeRec(child, key, ch);
+        if (sub != child)
+            setField(n, kLeft, sub);
+        return rebalance(n);
+    }
+    if (key > nkey) {
+        OpEmitter::Handle ch = OpEmitter::kNoDep;
+        Addr child = field(n, kRight, kh, &ch);
+        Addr sub = removeRec(child, key, ch);
+        if (sub != child)
+            setField(n, kRight, sub);
+        return rebalance(n);
+    }
+
+    // Found the node.
+    OpEmitter::Handle lh = OpEmitter::kNoDep;
+    OpEmitter::Handle rh = OpEmitter::kNoDep;
+    Addr l = field(n, kLeft, kh, &lh);
+    Addr r = field(n, kRight, kh, &rh);
+    if (l == 0 || r == 0) {
+        alloc_.free(n, kBlockBytes);
+        return l != 0 ? l : r;
+    }
+    // Two children: splice in the successor's key/value, then remove the
+    // successor from the right subtree.
+    Addr succ = 0;
+    Addr new_right = removeMinRec(r, &succ);
+    setField(n, kKey, em_.load(succ + kKey, 8));
+    setField(n, kVal, em_.load(succ + kVal, 8));
+    setField(n, kRight, new_right);
+    alloc_.free(succ, kBlockBytes);
+    return rebalance(n);
+}
+
+bool
+AvlTreeWorkload::search(uint64_t key)
+{
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    Addr cur = em_.load(kMeta + 0, 8, OpEmitter::kNoDep, &dep);
+    while (cur != 0) {
+        OpEmitter::Handle kh = OpEmitter::kNoDep;
+        uint64_t nkey = field(cur, kKey, dep, &kh);
+        em_.aluChain(4, kh);
+        if (nkey == key)
+            return true;
+        cur = field(cur, nkey > key ? kLeft : kRight, kh, &dep);
+    }
+    return false;
+}
+
+void
+AvlTreeWorkload::performOp(uint64_t key)
+{
+    bool found = search(key);
+    OpEmitter::Handle rooth = OpEmitter::kNoDep;
+    Addr root = em_.load(kMeta + 0, 8, OpEmitter::kNoDep, &rooth);
+    uint64_t size = em_.load(kMeta + 8, 8);
+
+    if (found) {
+        Addr new_root = removeRec(root, key, rooth);
+        if (new_root != root)
+            em_.store(kMeta + 0, new_root, 8);
+        em_.store(kMeta + 8, size - 1, 8);
+    } else {
+        Addr fresh = newNode();
+        setField(fresh, kKey, key);
+        setField(fresh, kVal, key * 7 + 5);
+        setField(fresh, kLeft, 0);
+        setField(fresh, kRight, 0);
+        setField(fresh, kHeight, 1);
+        Addr new_root = insertRec(root, fresh, key, rooth);
+        if (new_root != root)
+            em_.store(kMeta + 0, new_root, 8);
+        em_.store(kMeta + 8, size + 1, 8);
+    }
+}
+
+AvlTreeWorkload::CheckResult
+AvlTreeWorkload::checkRec(const MemImage &img, Addr n, bool hasMin,
+                          uint64_t minKey, bool hasMax, uint64_t maxKey,
+                          unsigned depth) const
+{
+    CheckResult res;
+    if (n == 0)
+        return res;
+    if (depth > 64) {
+        res.ok = false;
+        res.why = "depth exceeds 64 (cycle?)";
+        return res;
+    }
+    if (n < kHeapBase || blockOffset(n) != 0) {
+        res.ok = false;
+        res.why = "node outside the heap or misaligned";
+        return res;
+    }
+    uint64_t key = img.readInt(n + kKey, 8);
+    if ((hasMin && key <= minKey) || (hasMax && key >= maxKey)) {
+        res.ok = false;
+        res.why = "BST order violated";
+        return res;
+    }
+    CheckResult l = checkRec(img, img.readInt(n + kLeft, 8), hasMin,
+                             minKey, true, key, depth + 1);
+    if (!l.ok)
+        return l;
+    CheckResult r = checkRec(img, img.readInt(n + kRight, 8), true, key,
+                             hasMax, maxKey, depth + 1);
+    if (!r.ok)
+        return r;
+    uint64_t h = img.readInt(n + kHeight, 8);
+    if (h != 1 + std::max(l.height, r.height)) {
+        res.ok = false;
+        res.why = "stored height incorrect";
+        return res;
+    }
+    int64_t bf = static_cast<int64_t>(l.height) -
+        static_cast<int64_t>(r.height);
+    if (bf < -1 || bf > 1) {
+        res.ok = false;
+        res.why = "balance factor out of range";
+        return res;
+    }
+    res.count = 1 + l.count + r.count;
+    res.height = h;
+    return res;
+}
+
+bool
+AvlTreeWorkload::checkImage(const MemImage &img, std::string *why) const
+{
+    Addr root = img.readInt(kMeta + 0, 8);
+    uint64_t size = img.readInt(kMeta + 8, 8);
+    CheckResult res = checkRec(img, root, false, 0, false, 0, 0);
+    if (!res.ok) {
+        if (why)
+            *why = "AT: " + res.why;
+        return false;
+    }
+    if (res.count != size) {
+        if (why)
+            *why = "AT: stored size disagrees with node count";
+        return false;
+    }
+    return true;
+}
+
+void
+AvlTreeWorkload::collectRec(const MemImage &img, Addr n,
+                            std::vector<std::pair<uint64_t, uint64_t>> &out,
+                            unsigned depth) const
+{
+    if (n == 0 || depth > 64)
+        return;
+    collectRec(img, img.readInt(n + kLeft, 8), out, depth + 1);
+    out.emplace_back(img.readInt(n + kKey, 8), img.readInt(n + kVal, 8));
+    collectRec(img, img.readInt(n + kRight, 8), out, depth + 1);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+AvlTreeWorkload::contents(const MemImage &img) const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    collectRec(img, img.readInt(kMeta + 0, 8), out, 0);
+    return out;
+}
+
+} // namespace sp

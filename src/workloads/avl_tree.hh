@@ -1,0 +1,79 @@
+/**
+ * @file
+ * AT: AVL tree with write-ahead-logged, fully-logged updates (Table 1).
+ *
+ * Node layout (64B): key(+0,8) value(+8,8) left(+16,8) right(+24,8)
+ * height(+32,8). Metadata: root(+0) size(+8).
+ */
+
+#ifndef SP_WORKLOADS_AVL_TREE_HH
+#define SP_WORKLOADS_AVL_TREE_HH
+
+#include "workloads/tree_workload.hh"
+
+namespace sp
+{
+
+/** Persistent AVL tree benchmark. */
+class AvlTreeWorkload : public TreeWorkload
+{
+  public:
+    explicit AvlTreeWorkload(const WorkloadParams &params,
+                             uint64_t keyRange = 65536);
+
+    const char *name() const override { return "AT"; }
+
+    bool checkImage(const MemImage &img, std::string *why) const override;
+    std::vector<std::pair<uint64_t, uint64_t>>
+    contents(const MemImage &img) const override;
+
+  protected:
+    void create() override;
+    void performOp(uint64_t key) override;
+
+    static constexpr Addr kMeta = kWorkloadMetaBase;
+    static constexpr unsigned kKey = 0;
+    static constexpr unsigned kVal = 8;
+    static constexpr unsigned kLeft = 16;
+    static constexpr unsigned kRight = 24;
+    static constexpr unsigned kHeight = 32;
+
+    // Emitting accessors.
+    uint64_t field(Addr n, unsigned off,
+                   OpEmitter::Handle dep = OpEmitter::kNoDep,
+                   OpEmitter::Handle *h = nullptr);
+    void setField(Addr n, unsigned off, uint64_t v,
+                  OpEmitter::Handle dep = OpEmitter::kNoDep);
+
+    uint64_t heightOf(Addr n, OpEmitter::Handle dep = OpEmitter::kNoDep);
+    void updateHeight(Addr n);
+    Addr rotateLeft(Addr n);
+    Addr rotateRight(Addr n);
+    Addr rebalance(Addr n);
+
+  private:
+    Addr insertRec(Addr n, Addr fresh, uint64_t key,
+                   OpEmitter::Handle dep);
+    Addr removeRec(Addr n, uint64_t key, OpEmitter::Handle dep);
+    Addr removeMinRec(Addr n, Addr *minOut);
+    bool search(uint64_t key);
+
+    // Image-level helpers for checks (no emission).
+    struct CheckResult
+    {
+        bool ok = true;
+        uint64_t count = 0;
+        uint64_t height = 0;
+        std::string why;
+    };
+    CheckResult checkRec(const MemImage &img, Addr n, bool hasMin,
+                         uint64_t minKey, bool hasMax,
+                         uint64_t maxKey, unsigned depth) const;
+    void collectRec(const MemImage &img, Addr n,
+                    std::vector<std::pair<uint64_t, uint64_t>> &out,
+                    unsigned depth) const;
+};
+
+} // namespace sp
+
+#endif // SP_WORKLOADS_AVL_TREE_HH

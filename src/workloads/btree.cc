@@ -1,0 +1,499 @@
+#include "workloads/btree.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+BTreeWorkload::BTreeWorkload(const WorkloadParams &params,
+                             uint64_t keyRange)
+    : TreeWorkload(params, keyRange)
+{
+}
+
+void
+BTreeWorkload::create()
+{
+    em_.store(kMeta + 0, 0, 8); // root
+    em_.store(kMeta + 8, 0, 8); // size
+}
+
+uint64_t
+BTreeWorkload::field(Addr n, unsigned off, OpEmitter::Handle dep,
+                     OpEmitter::Handle *h)
+{
+    return em_.load(n + off, 8, dep, h);
+}
+
+void
+BTreeWorkload::setField(Addr n, unsigned off, uint64_t v,
+                        OpEmitter::Handle dep)
+{
+    em_.store(n + off, v, 8, dep);
+}
+
+Addr
+BTreeWorkload::childOf(Addr n, unsigned idx, OpEmitter::Handle dep,
+                       OpEmitter::Handle *h)
+{
+    return field(n, kChild0 + idx * 8, dep, h);
+}
+
+void
+BTreeWorkload::setChild(Addr n, unsigned idx, Addr c)
+{
+    setField(n, kChild0 + idx * 8, c);
+}
+
+uint64_t
+BTreeWorkload::minOfSubtree(Addr n)
+{
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    unsigned guard = 0;
+    while (field(n, kIsLeaf, dep, &dep) == 0) {
+        n = childOf(n, 0, dep, &dep);
+        SP_ASSERT(++guard < 64, "2-3 tree deeper than 64 levels");
+    }
+    return field(n, kLeafKey, dep);
+}
+
+void
+BTreeWorkload::resep(Addr n)
+{
+    uint64_t count = field(n, kN);
+    for (unsigned j = 1; j < count; ++j) {
+        uint64_t min_key = minOfSubtree(childOf(n, j));
+        unsigned off = j == 1 ? kSep1 : kSep2;
+        if (field(n, off) != min_key)
+            setField(n, off, min_key);
+    }
+}
+
+unsigned
+BTreeWorkload::pickChild(Addr n, uint64_t key, OpEmitter::Handle dep,
+                         OpEmitter::Handle *h)
+{
+    OpEmitter::Handle nh = OpEmitter::kNoDep;
+    uint64_t count = field(n, kN, dep, &nh);
+    uint64_t sep1 = field(n, kSep1, dep);
+    em_.alu(2, nh);
+    unsigned idx = 0;
+    if (count == 3) {
+        uint64_t sep2 = field(n, kSep2, dep);
+        em_.alu(2);
+        idx = key >= sep2 ? 2 : (key >= sep1 ? 1 : 0);
+    } else {
+        idx = key >= sep1 ? 1 : 0;
+    }
+    if (h)
+        *h = nh;
+    return idx;
+}
+
+bool
+BTreeWorkload::search(uint64_t key)
+{
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    Addr n = em_.load(kMeta + 0, 8, OpEmitter::kNoDep, &dep);
+    if (n == 0)
+        return false;
+    unsigned guard = 0;
+    while (field(n, kIsLeaf, dep, &dep) == 0) {
+        unsigned idx = pickChild(n, key, dep, nullptr);
+        n = childOf(n, idx, dep, &dep);
+        SP_ASSERT(++guard < 64, "2-3 tree deeper than 64 levels");
+    }
+    em_.aluChain(4);
+    return field(n, kLeafKey, dep) == key;
+}
+
+BTreeWorkload::SplitResult
+BTreeWorkload::addChildAt(Addr n, unsigned pos, Addr child,
+                          uint64_t childMin, uint64_t displacedC0Min)
+{
+    uint64_t count = field(n, kN);
+
+    // Children and the min key of each subtree. The min of child0 is only
+    // required when the new child displaces it (pos == 0), in which case
+    // the caller supplies it.
+    struct Entry
+    {
+        Addr node;
+        uint64_t minKey;
+    };
+    Entry entries[4];
+    unsigned total = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        uint64_t min_key = 0;
+        if (i == 1)
+            min_key = field(n, kSep1);
+        else if (i == 2)
+            min_key = field(n, kSep2);
+        else if (pos == 0)
+            min_key = displacedC0Min;
+        entries[total++] = {childOf(n, i), min_key};
+    }
+    SP_ASSERT(pos <= total, "child insert position out of range");
+    for (unsigned i = total; i > pos; --i)
+        entries[i] = entries[i - 1];
+    entries[pos] = {child, childMin};
+    ++total;
+
+    if (total <= 3) {
+        for (unsigned i = 0; i < total; ++i)
+            setChild(n, i, entries[i].node);
+        setField(n, kN, total);
+        setField(n, kSep1, entries[1].minKey);
+        if (total == 3)
+            setField(n, kSep2, entries[2].minKey);
+        return {};
+    }
+
+    // Split: n keeps entries 0-1, the new right sibling gets entries 2-3.
+    setChild(n, 0, entries[0].node);
+    setChild(n, 1, entries[1].node);
+    setField(n, kN, 2);
+    setField(n, kSep1, entries[1].minKey);
+
+    Addr q = newNode();
+    setField(q, kIsLeaf, 0);
+    setField(q, kN, 2);
+    setChild(q, 0, entries[2].node);
+    setChild(q, 1, entries[3].node);
+    setField(q, kSep1, entries[3].minKey);
+    return {q, entries[2].minKey};
+}
+
+void
+BTreeWorkload::touchChildren(Addr n, OpEmitter::Handle dep)
+{
+    // Full logging (Figure 5) conservatively logs every node rebalancing
+    // may need: reading each child here puts it in the shadow pass's
+    // touched set, so the transaction logs it before any modification.
+    uint64_t count = field(n, kN, dep);
+    for (unsigned i = 0; i < count && i < 3; ++i)
+        field(childOf(n, i, dep), kIsLeaf, dep);
+}
+
+BTreeWorkload::SplitResult
+BTreeWorkload::insertRec(Addr n, uint64_t key, Addr leaf)
+{
+    OpEmitter::Handle h = OpEmitter::kNoDep;
+    touchChildren(n, OpEmitter::kNoDep);
+    unsigned idx = pickChild(n, key, OpEmitter::kNoDep, &h);
+    OpEmitter::Handle ch = OpEmitter::kNoDep;
+    Addr child = childOf(n, idx, h, &ch);
+
+    if (field(child, kIsLeaf, ch) != 0) {
+        OpEmitter::Handle kh = OpEmitter::kNoDep;
+        uint64_t child_key = field(child, kLeafKey, ch, &kh);
+        em_.alu(2, kh);
+        unsigned pos = key < child_key ? idx : idx + 1;
+        return addChildAt(n, pos, leaf, key,
+                          pos == 0 ? child_key : 0);
+    }
+
+    SplitResult split = insertRec(child, key, leaf);
+    if (split.node != 0)
+        return addChildAt(n, idx + 1, split.node, split.minKey, 0);
+    return {};
+}
+
+bool
+BTreeWorkload::removeChildAt(Addr n, unsigned idx)
+{
+    uint64_t count = field(n, kN);
+    SP_ASSERT(idx < count, "removing a child that does not exist");
+    if (count == 3) {
+        // Shift down; separators stay consistent by construction.
+        if (idx == 0) {
+            setChild(n, 0, childOf(n, 1));
+            setField(n, kSep1, field(n, kSep2));
+        }
+        if (idx <= 1)
+            setChild(n, 1, childOf(n, 2));
+        if (idx == 1)
+            setField(n, kSep1, field(n, kSep2));
+        setField(n, kN, 2);
+        return false;
+    }
+    // Down to one child: underflow. Keep the survivor in child0.
+    if (idx == 0)
+        setChild(n, 0, childOf(n, 1));
+    setField(n, kN, 1);
+    return true;
+}
+
+bool
+BTreeWorkload::fixUnderflow(Addr n, unsigned idx)
+{
+    // childOf(n, idx) has exactly one child, stored in its slot 0.
+    Addr p = childOf(n, idx);
+    Addr survivor = childOf(p, 0);
+    // The child-count load is part of the fixup's natural access stream
+    // even though this path derives what it needs from the siblings.
+    (void)field(n, kN);
+
+    if (idx > 0) {
+        Addr s = childOf(n, idx - 1); // left sibling
+        if (field(s, kN) == 3) {
+            // Borrow the left sibling's last child.
+            Addr moved = childOf(s, 2);
+            setField(s, kN, 2);
+            setChild(p, 0, moved);
+            setChild(p, 1, survivor);
+            setField(p, kN, 2);
+            resep(p);
+            resep(s);
+            resep(n);
+            return false;
+        }
+        // Merge p's survivor into the left sibling.
+        setChild(s, 2, survivor);
+        setField(s, kN, 3);
+        resep(s);
+        alloc_.free(p, kBlockBytes);
+        bool uf = removeChildAt(n, idx);
+        if (!uf)
+            resep(n);
+        return uf;
+    }
+
+    Addr s = childOf(n, idx + 1); // right sibling
+    if (field(s, kN) == 3) {
+        // Borrow the right sibling's first child.
+        Addr moved = childOf(s, 0);
+        setChild(s, 0, childOf(s, 1));
+        setChild(s, 1, childOf(s, 2));
+        setField(s, kN, 2);
+        setChild(p, 0, survivor);
+        setChild(p, 1, moved);
+        setField(p, kN, 2);
+        resep(p);
+        resep(s);
+        resep(n);
+        return false;
+    }
+    // Merge the survivor into the right sibling as its first child.
+    setChild(s, 2, childOf(s, 1));
+    setChild(s, 1, childOf(s, 0));
+    setChild(s, 0, survivor);
+    setField(s, kN, 3);
+    resep(s);
+    alloc_.free(p, kBlockBytes);
+    bool uf = removeChildAt(n, idx);
+    if (!uf)
+        resep(n);
+    return uf;
+}
+
+bool
+BTreeWorkload::removeRec(Addr n, uint64_t key)
+{
+    OpEmitter::Handle h = OpEmitter::kNoDep;
+    touchChildren(n, OpEmitter::kNoDep);
+    unsigned idx = pickChild(n, key, OpEmitter::kNoDep, &h);
+    OpEmitter::Handle ch = OpEmitter::kNoDep;
+    Addr child = childOf(n, idx, h, &ch);
+
+    if (field(child, kIsLeaf, ch) != 0) {
+        SP_ASSERT(field(child, kLeafKey, ch) == key,
+                  "removeRec descended to the wrong leaf");
+        alloc_.free(child, kBlockBytes);
+        bool uf = removeChildAt(n, idx);
+        if (!uf)
+            resep(n);
+        return uf;
+    }
+
+    bool child_uf = removeRec(child, key);
+    if (child_uf)
+        return fixUnderflow(n, idx);
+    resep(n);
+    return false;
+}
+
+void
+BTreeWorkload::performOp(uint64_t key)
+{
+    bool found = search(key);
+    Addr root = em_.load(kMeta + 0, 8);
+    uint64_t size = em_.load(kMeta + 8, 8);
+
+    if (!found) {
+        Addr leaf = newNode();
+        setField(leaf, kIsLeaf, 1);
+        setField(leaf, kLeafKey, key);
+        setField(leaf, kLeafVal, key * 11 + 3);
+
+        if (root == 0) {
+            em_.store(kMeta + 0, leaf, 8);
+        } else if (em_.load(root + kIsLeaf, 8) != 0) {
+            // Root is a leaf: grow an internal root above two leaves.
+            uint64_t root_key = em_.load(root + kLeafKey, 8);
+            em_.alu(2);
+            Addr top = newNode();
+            setField(top, kIsLeaf, 0);
+            setField(top, kN, 2);
+            if (key < root_key) {
+                setChild(top, 0, leaf);
+                setChild(top, 1, root);
+                setField(top, kSep1, root_key);
+            } else {
+                setChild(top, 0, root);
+                setChild(top, 1, leaf);
+                setField(top, kSep1, key);
+            }
+            em_.store(kMeta + 0, top, 8);
+        } else {
+            SplitResult split = insertRec(root, key, leaf);
+            if (split.node != 0) {
+                Addr top = newNode();
+                setField(top, kIsLeaf, 0);
+                setField(top, kN, 2);
+                setChild(top, 0, root);
+                setChild(top, 1, split.node);
+                setField(top, kSep1, split.minKey);
+                em_.store(kMeta + 0, top, 8);
+            }
+        }
+        em_.store(kMeta + 8, size + 1, 8);
+        return;
+    }
+
+    // Delete.
+    if (em_.load(root + kIsLeaf, 8) != 0) {
+        alloc_.free(root, kBlockBytes);
+        em_.store(kMeta + 0, 0, 8);
+    } else {
+        bool uf = removeRec(root, key);
+        if (uf) {
+            // Root underflowed to a single child: collapse one level.
+            Addr survivor = childOf(root, 0);
+            alloc_.free(root, kBlockBytes);
+            em_.store(kMeta + 0, survivor, 8);
+        }
+    }
+    em_.store(kMeta + 8, size - 1, 8);
+}
+
+BTreeWorkload::CheckResult
+BTreeWorkload::checkRec(const MemImage &img, Addr n, unsigned level) const
+{
+    CheckResult res;
+    if (level > 64) {
+        res.ok = false;
+        res.why = "depth exceeds 64 (cycle?)";
+        return res;
+    }
+    if (n < kHeapBase || blockOffset(n) != 0) {
+        res.ok = false;
+        res.why = "node outside the heap or misaligned";
+        return res;
+    }
+    if (img.readInt(n + kIsLeaf, 8) != 0) {
+        res.leaves = 1;
+        res.depth = 0;
+        res.minKey = img.readInt(n + kLeafKey, 8);
+        return res;
+    }
+    uint64_t count = img.readInt(n + kN, 8);
+    if (count < 2 || count > 3) {
+        res.ok = false;
+        res.why = "internal node with invalid child count";
+        return res;
+    }
+    int child_depth = -1;
+    uint64_t prev_min = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        Addr child = img.readInt(n + kChild0 + i * 8, 8);
+        CheckResult sub = checkRec(img, child, level + 1);
+        if (!sub.ok)
+            return sub;
+        if (child_depth == -1)
+            child_depth = sub.depth;
+        else if (child_depth != sub.depth) {
+            res.ok = false;
+            res.why = "leaves at different depths";
+            return res;
+        }
+        if (i > 0) {
+            uint64_t sep = img.readInt(n + (i == 1 ? kSep1 : kSep2), 8);
+            if (sep != sub.minKey) {
+                res.ok = false;
+                res.why = "separator is not the subtree minimum";
+                return res;
+            }
+            if (sub.minKey <= prev_min) {
+                res.ok = false;
+                res.why = "children not in increasing key order";
+                return res;
+            }
+        }
+        if (i == 0)
+            res.minKey = sub.minKey;
+        prev_min = sub.minKey;
+        res.leaves += sub.leaves;
+    }
+    res.depth = child_depth + 1;
+    return res;
+}
+
+bool
+BTreeWorkload::checkImage(const MemImage &img, std::string *why) const
+{
+    Addr root = img.readInt(kMeta + 0, 8);
+    uint64_t size = img.readInt(kMeta + 8, 8);
+    if (root == 0) {
+        if (size != 0) {
+            if (why)
+                *why = "BT: empty tree with nonzero size";
+            return false;
+        }
+        return true;
+    }
+    CheckResult res = checkRec(img, root, 0);
+    if (!res.ok) {
+        if (why)
+            *why = "BT: " + res.why;
+        return false;
+    }
+    if (res.leaves != size) {
+        if (why)
+            *why = "BT: stored size disagrees with leaf count";
+        return false;
+    }
+    return true;
+}
+
+void
+BTreeWorkload::collectRec(const MemImage &img, Addr n,
+                          std::vector<std::pair<uint64_t, uint64_t>> &out,
+                          unsigned depth) const
+{
+    if (n == 0 || depth > 64)
+        return;
+    if (img.readInt(n + kIsLeaf, 8) != 0) {
+        out.emplace_back(img.readInt(n + kLeafKey, 8),
+                         img.readInt(n + kLeafVal, 8));
+        return;
+    }
+    uint64_t count = img.readInt(n + kN, 8);
+    for (unsigned i = 0; i < count && i < 3; ++i)
+        collectRec(img, img.readInt(n + kChild0 + i * 8, 8), out,
+                   depth + 1);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+BTreeWorkload::contents(const MemImage &img) const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    Addr root = img.readInt(kMeta + 0, 8);
+    if (root != 0)
+        collectRec(img, root, out, 0);
+    return out;
+}
+
+} // namespace sp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * BT: 2-3 B-tree with data in the leaves and separator keys in internal
+ * nodes, exactly the structure of the paper's Figures 4-5, with the *full
+ * logging* transaction policy.
+ *
+ * Leaf (64B):     isLeaf=1(+0,8) key(+8,8) value(+16,8).
+ * Internal (64B): isLeaf=0(+0,8) n(+8,8: 2 or 3 children)
+ *                 sep1(+16,8: min key of child1's subtree)
+ *                 sep2(+24,8: min key of child2's subtree)
+ *                 child0(+32,8) child1(+40,8) child2(+48,8).
+ * Metadata: root(+0) size(+8).
+ */
+
+#ifndef SP_WORKLOADS_BTREE_HH
+#define SP_WORKLOADS_BTREE_HH
+
+#include "workloads/tree_workload.hh"
+
+namespace sp
+{
+
+/** Persistent 2-3 B-tree benchmark. */
+class BTreeWorkload : public TreeWorkload
+{
+  public:
+    explicit BTreeWorkload(const WorkloadParams &params,
+                           uint64_t keyRange = 65536);
+
+    const char *name() const override { return "BT"; }
+
+    bool checkImage(const MemImage &img, std::string *why) const override;
+    std::vector<std::pair<uint64_t, uint64_t>>
+    contents(const MemImage &img) const override;
+
+  protected:
+    void create() override;
+    void performOp(uint64_t key) override;
+
+  private:
+    static constexpr Addr kMeta = kWorkloadMetaBase;
+    static constexpr unsigned kIsLeaf = 0;
+    static constexpr unsigned kLeafKey = 8;
+    static constexpr unsigned kLeafVal = 16;
+    static constexpr unsigned kN = 8;
+    static constexpr unsigned kSep1 = 16;
+    static constexpr unsigned kSep2 = 24;
+    static constexpr unsigned kChild0 = 32;
+
+    /** Result of inserting a child into an internal node. */
+    struct SplitResult
+    {
+        /** New right sibling pushed up, or 0 if no split happened. */
+        Addr node = 0;
+        /** Min key of `node`'s subtree (its separator in the parent). */
+        uint64_t minKey = 0;
+    };
+
+    uint64_t field(Addr n, unsigned off,
+                   OpEmitter::Handle dep = OpEmitter::kNoDep,
+                   OpEmitter::Handle *h = nullptr);
+    void setField(Addr n, unsigned off, uint64_t v,
+                  OpEmitter::Handle dep = OpEmitter::kNoDep);
+    Addr childOf(Addr n, unsigned idx,
+                 OpEmitter::Handle dep = OpEmitter::kNoDep,
+                 OpEmitter::Handle *h = nullptr);
+    void setChild(Addr n, unsigned idx, Addr c);
+
+    /** Smallest key in the subtree (descends child0 to a leaf). */
+    uint64_t minOfSubtree(Addr n);
+
+    /** Recompute this internal node's separators from its children. */
+    void resep(Addr n);
+
+    /** Pick the descent child index for `key` in internal node `n`. */
+    unsigned pickChild(Addr n, uint64_t key, OpEmitter::Handle dep,
+                       OpEmitter::Handle *h);
+
+    /** Does the tree contain `key`? (emitting search) */
+    bool search(uint64_t key);
+
+    /** Read every child of an internal node (conservative full logging). */
+    void touchChildren(Addr n, OpEmitter::Handle dep);
+
+    SplitResult addChildAt(Addr n, unsigned pos, Addr child,
+                           uint64_t childMin, uint64_t displacedC0Min);
+    SplitResult insertRec(Addr n, uint64_t key, Addr leaf);
+
+    /** Remove child `idx`; @return true if `n` underflowed to 1 child. */
+    bool removeChildAt(Addr n, unsigned idx);
+    /** Fix the underflowed child at `idx` of `n`; may underflow `n`. */
+    bool fixUnderflow(Addr n, unsigned idx);
+    bool removeRec(Addr n, uint64_t key);
+
+    struct CheckResult
+    {
+        bool ok = true;
+        uint64_t leaves = 0;
+        int depth = 0;
+        uint64_t minKey = 0;
+        std::string why;
+    };
+    CheckResult checkRec(const MemImage &img, Addr n, unsigned level) const;
+    void collectRec(const MemImage &img, Addr n,
+                    std::vector<std::pair<uint64_t, uint64_t>> &out,
+                    unsigned depth) const;
+};
+
+} // namespace sp
+
+#endif // SP_WORKLOADS_BTREE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Workload factory: construct any Table 1 benchmark by kind, with
+ * paper-scale or scaled-down default op counts.
+ */
+
+#ifndef SP_WORKLOADS_FACTORY_HH
+#define SP_WORKLOADS_FACTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace sp
+{
+
+/** All seven benchmark kinds in Table 1 order. */
+const std::vector<WorkloadKind> &allWorkloadKinds();
+
+/** Table 1 abbreviation for a kind. */
+const char *workloadKindName(WorkloadKind kind);
+
+/** Paper-scale #InitOps / #SimOps (Table 1). */
+WorkloadParams paperScaleParams(WorkloadKind kind);
+
+/**
+ * Scaled-down op counts that keep every benchmark's character (resizes,
+ * rebalancing, steady-state sizes) while running in seconds. `scale` is a
+ * multiplier on the defaults (1 = bench default).
+ */
+WorkloadParams defaultParams(WorkloadKind kind, double scale = 1.0);
+
+/** Construct a workload (does not run setup()). */
+std::unique_ptr<Workload> makeWorkload(WorkloadKind kind,
+                                       const WorkloadParams &params);
+
+} // namespace sp
+
+#endif // SP_WORKLOADS_FACTORY_HH

@@ -1,0 +1,190 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+GraphWorkload::GraphWorkload(const WorkloadParams &params,
+                             uint64_t numVertices, uint64_t window)
+    : Workload(params), numVertices_(numVertices), window_(window)
+{
+}
+
+Addr
+GraphWorkload::vertexAddr(Addr table, uint64_t v) const
+{
+    return table + v * kBlockBytes;
+}
+
+void
+GraphWorkload::create()
+{
+    Addr table = alloc_.alloc(numVertices_ * kBlockBytes);
+    em_.store(kMeta + 0, table, 8);
+    em_.store(kMeta + 8, numVertices_, 8);
+    em_.store(kMeta + 16, 0, 8); // edge count
+    for (uint64_t v = 0; v < numVertices_; ++v) {
+        em_.store(vertexAddr(table, v) + 0, 0, 8); // head = null
+        em_.store(vertexAddr(table, v) + 8, 0, 8); // degree = 0
+    }
+}
+
+void
+GraphWorkload::doOperation()
+{
+    uint64_t src = rng_.nextBounded(numVertices_);
+    uint64_t dst = (src + 1 + rng_.nextBounded(window_)) % numVertices_;
+    appWork(5000);
+
+    Addr table = em_.load(kMeta + 0, 8, appDep());
+    Addr vertex = vertexAddr(table, src);
+
+    // Walk the adjacency list looking for dst.
+    Addr prev_edge = 0;
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    Addr edge = em_.load(vertex + 0, 8, appDep(), &dep);
+    while (edge != 0) {
+        OpEmitter::Handle to_dep = OpEmitter::kNoDep;
+        uint64_t to = em_.load(edge + 0, 8, dep, &to_dep);
+        em_.aluChain(4, to_dep);
+        if (to == dst) {
+            removeEdge(vertex, prev_edge, edge, dep);
+            return;
+        }
+        prev_edge = edge;
+        edge = em_.load(edge + 8, 8, dep, &dep);
+    }
+    insertEdge(vertex, dst);
+}
+
+void
+GraphWorkload::insertEdge(Addr vertex, uint64_t dst)
+{
+    Addr edge = alloc_.alloc(kBlockBytes);
+    uint64_t degree = em_.image().readInt(vertex + 8, 8);
+    uint64_t edges = em_.image().readInt(kMeta + 16, 8);
+    em_.aluChain(80); // allocator and bookkeeping code
+
+    tx_.begin();
+    tx_.logRange(vertex, kBlockBytes);
+    tx_.logRange(kMeta, 24);
+    logGeneration();
+    tx_.seal();
+
+    uint64_t head = em_.load(vertex + 0, 8);
+    em_.store(edge + 0, dst, 8);
+    em_.store(edge + 8, head, 8);
+    em_.store(edge + 16, dst * 5 + 3, 8); // weight
+    em_.clwb(edge);
+    em_.store(vertex + 0, edge, 8);
+    em_.store(vertex + 8, degree + 1, 8);
+    em_.clwb(vertex);
+    em_.store(kMeta + 16, edges + 1, 8);
+    em_.clwb(kMeta);
+    bumpGeneration();
+    tx_.commitUpdates();
+    tx_.end();
+}
+
+void
+GraphWorkload::removeEdge(Addr vertex, Addr prevEdge, Addr edge,
+                          OpEmitter::Handle dep)
+{
+    uint64_t degree = em_.image().readInt(vertex + 8, 8);
+    uint64_t edges = em_.image().readInt(kMeta + 16, 8);
+    em_.aluChain(60); // unlink bookkeeping code
+
+    tx_.begin();
+    tx_.logRange(vertex, kBlockBytes);
+    if (prevEdge != 0)
+        tx_.logRange(prevEdge, kBlockBytes);
+    tx_.logRange(kMeta, 24);
+    logGeneration();
+    tx_.seal();
+
+    OpEmitter::Handle next_dep = OpEmitter::kNoDep;
+    uint64_t next = em_.load(edge + 8, 8, dep, &next_dep);
+    if (prevEdge != 0) {
+        em_.store(prevEdge + 8, next, 8, next_dep);
+        em_.clwb(prevEdge);
+    } else {
+        em_.store(vertex + 0, next, 8, next_dep);
+    }
+    em_.store(vertex + 8, degree - 1, 8);
+    em_.clwb(vertex);
+    em_.store(kMeta + 16, edges - 1, 8);
+    em_.clwb(kMeta);
+    bumpGeneration();
+    tx_.commitUpdates();
+    tx_.end();
+
+    alloc_.free(edge, kBlockBytes);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+GraphWorkload::contents(const MemImage &img) const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    Addr table = img.readInt(kMeta + 0, 8);
+    uint64_t verts = img.readInt(kMeta + 8, 8);
+    for (uint64_t v = 0; v < verts; ++v) {
+        Addr edge = img.readInt(vertexAddr(table, v) + 0, 8);
+        uint64_t guard = 0;
+        while (edge != 0 && guard++ < numVertices_ * window_) {
+            out.emplace_back(v * verts + img.readInt(edge + 0, 8),
+                             img.readInt(edge + 16, 8));
+            edge = img.readInt(edge + 8, 8);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+GraphWorkload::checkImage(const MemImage &img, std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = "GH: " + msg;
+        return false;
+    };
+
+    Addr table = img.readInt(kMeta + 0, 8);
+    uint64_t verts = img.readInt(kMeta + 8, 8);
+    uint64_t edge_count = img.readInt(kMeta + 16, 8);
+    if (verts != numVertices_)
+        return fail("vertex count changed");
+
+    uint64_t total = 0;
+    for (uint64_t v = 0; v < verts; ++v) {
+        Addr vertex = vertexAddr(table, v);
+        uint64_t degree = img.readInt(vertex + 8, 8);
+        uint64_t walked = 0;
+        std::vector<uint64_t> seen;
+        Addr edge = img.readInt(vertex + 0, 8);
+        while (edge != 0) {
+            if (++walked > window_ + 2)
+                return fail("adjacency list longer than possible");
+            if (edge < kHeapBase || blockOffset(edge) != 0)
+                return fail("edge node outside the heap or misaligned");
+            uint64_t to = img.readInt(edge + 0, 8);
+            if (to >= verts)
+                return fail("edge destination out of range");
+            if (std::find(seen.begin(), seen.end(), to) != seen.end())
+                return fail("duplicate edge");
+            seen.push_back(to);
+            edge = img.readInt(edge + 8, 8);
+        }
+        if (walked != degree)
+            return fail("stored degree disagrees with list walk");
+        total += walked;
+    }
+    if (total != edge_count)
+        return fail("stored edge count disagrees with lists");
+    return true;
+}
+
+} // namespace sp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GH: directed graph with per-vertex adjacency lists; operations insert or
+ * delete edges (Table 1).
+ *
+ * Vertex table: numVertices 64B blocks {edgeHead(+0,8) degree(+8,8)}.
+ * Edge node (64B): to(+0,8) next(+8,8) weight(+16,8).
+ * Metadata: vertices(+0) numVertices(+8) edgeCount(+16).
+ *
+ * The destination vertex is drawn from a small window after the source so
+ * adjacency lists stay short (the paper's GH logs few nodes per update).
+ */
+
+#ifndef SP_WORKLOADS_GRAPH_HH
+#define SP_WORKLOADS_GRAPH_HH
+
+#include "workloads/workload.hh"
+
+namespace sp
+{
+
+/** Persistent adjacency-list graph benchmark. */
+class GraphWorkload : public Workload
+{
+  public:
+    explicit GraphWorkload(const WorkloadParams &params,
+                           uint64_t numVertices = 2048,
+                           uint64_t window = 32);
+
+    const char *name() const override { return "GH"; }
+
+    bool checkImage(const MemImage &img, std::string *why) const override;
+    /** Contents are (src*numVertices+dst, weight) pairs. */
+    std::vector<std::pair<uint64_t, uint64_t>>
+    contents(const MemImage &img) const override;
+
+  protected:
+    void create() override;
+    void doOperation() override;
+
+  private:
+    static constexpr Addr kMeta = kWorkloadMetaBase;
+
+    uint64_t numVertices_;
+    uint64_t window_;
+
+    Addr vertexAddr(Addr table, uint64_t v) const;
+    void insertEdge(Addr vertex, uint64_t dst);
+    void removeEdge(Addr vertex, Addr prevEdge, Addr edge,
+                    OpEmitter::Handle dep);
+};
+
+} // namespace sp
+
+#endif // SP_WORKLOADS_GRAPH_HH

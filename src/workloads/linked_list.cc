@@ -1,0 +1,176 @@
+#include "workloads/linked_list.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+LinkedListWorkload::LinkedListWorkload(const WorkloadParams &params,
+                                       uint64_t maxNodes, uint64_t keyRange)
+    : Workload(params), maxNodes_(maxNodes), keyRange_(keyRange)
+{
+}
+
+void
+LinkedListWorkload::create()
+{
+    em_.store(kMeta + 0, 0, 8); // head = null
+    em_.store(kMeta + 8, 0, 8); // size = 0
+}
+
+void
+LinkedListWorkload::doOperation()
+{
+    uint64_t key = rng_.nextBounded(keyRange_);
+    appWork(3500);
+
+    // Search for the key, tracking the predecessor. Pointer loads chain
+    // through `dep` so the walk serializes like real pointer chasing.
+    Addr prev = 0;
+    OpEmitter::Handle prev_dep = OpEmitter::kNoDep;
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    Addr cur = em_.load(kMeta + 0, 8, appDep(), &dep);
+    while (cur != 0) {
+        OpEmitter::Handle key_dep = OpEmitter::kNoDep;
+        uint64_t cur_key = em_.load(cur + kOffKey, 8, dep, &key_dep);
+        em_.aluChain(4, key_dep); // compare + branch + loop bookkeeping
+        if (cur_key >= key)
+            break;
+        prev = cur;
+        prev_dep = dep;
+        cur = em_.load(cur + kOffNext, 8, dep, &dep);
+    }
+
+    bool found = false;
+    if (cur != 0)
+        found = em_.image().readInt(cur + kOffKey, 8) == key;
+
+    if (found) {
+        remove(prev, cur, dep);
+    } else {
+        uint64_t size = em_.image().readInt(kMeta + 8, 8);
+        if (size >= maxNodes_)
+            return; // capped (paper: Max 1024)
+        insert(key, prev, cur, prev_dep);
+    }
+}
+
+void
+LinkedListWorkload::insert(uint64_t key, Addr prev, Addr cur,
+                           OpEmitter::Handle prevDep)
+{
+    Addr node = alloc_.alloc(kBlockBytes);
+    uint64_t size = em_.image().readInt(kMeta + 8, 8);
+    em_.aluChain(80); // allocator and bookkeeping code
+
+    tx_.begin();
+    // Log the node to be modified (paper: "we log data of node 'nn' and
+    // the address of 'nn'") plus the list metadata.
+    tx_.logRange(kMeta, 16);
+    if (prev != 0)
+        tx_.logRange(prev, kBlockBytes);
+    logGeneration();
+    tx_.seal();
+
+    // Updates: build the new node, then link it in.
+    em_.store(node + kOffKey, key, 8);
+    em_.store(node + kOffValue, key * 2 + 1, 8);
+    em_.store(node + kOffNext, cur, 8);
+    em_.clwb(node);
+    if (prev != 0) {
+        em_.store(prev + kOffNext, node, 8, prevDep);
+        em_.clwb(prev);
+    } else {
+        em_.store(kMeta + 0, node, 8);
+    }
+    em_.store(kMeta + 8, size + 1, 8);
+    em_.clwb(kMeta);
+    bumpGeneration();
+    tx_.commitUpdates();
+    tx_.end();
+}
+
+void
+LinkedListWorkload::remove(Addr prev, Addr victim, OpEmitter::Handle dep)
+{
+    uint64_t size = em_.image().readInt(kMeta + 8, 8);
+    em_.aluChain(60); // unlink bookkeeping code
+
+    tx_.begin();
+    tx_.logRange(kMeta, 16);
+    if (prev != 0)
+        tx_.logRange(prev, kBlockBytes);
+    logGeneration();
+    tx_.seal();
+
+    OpEmitter::Handle next_dep = OpEmitter::kNoDep;
+    uint64_t next = em_.load(victim + kOffNext, 8, dep, &next_dep);
+    if (prev != 0) {
+        em_.store(prev + kOffNext, next, 8, next_dep);
+        em_.clwb(prev);
+    } else {
+        em_.store(kMeta + 0, next, 8, next_dep);
+    }
+    em_.store(kMeta + 8, size - 1, 8);
+    em_.clwb(kMeta);
+    bumpGeneration();
+    tx_.commitUpdates();
+    tx_.end();
+
+    alloc_.free(victim, kBlockBytes);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+LinkedListWorkload::contents(const MemImage &img) const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    Addr cur = img.readInt(kMeta + 0, 8);
+    uint64_t guard = 0;
+    while (cur != 0 && guard++ <= maxNodes_ + 1) {
+        out.emplace_back(img.readInt(cur + kOffKey, 8),
+                         img.readInt(cur + kOffValue, 8));
+        cur = img.readInt(cur + kOffNext, 8);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+LinkedListWorkload::checkImage(const MemImage &img, std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = "LL: " + msg;
+        return false;
+    };
+
+    uint64_t size = img.readInt(kMeta + 8, 8);
+    if (size > maxNodes_)
+        return fail("size exceeds cap");
+
+    Addr cur = img.readInt(kMeta + 0, 8);
+    uint64_t count = 0;
+    uint64_t last_key = 0;
+    bool first = true;
+    while (cur != 0) {
+        if (++count > maxNodes_ + 1)
+            return fail("cycle or overlong list");
+        if (cur < kHeapBase || blockOffset(cur) != 0)
+            return fail("node address outside the heap or misaligned");
+        uint64_t key = img.readInt(cur + kOffKey, 8);
+        if (!first && key <= last_key)
+            return fail("keys not strictly increasing");
+        if (key >= keyRange_)
+            return fail("key out of range");
+        first = false;
+        last_key = key;
+        cur = img.readInt(cur + kOffNext, 8);
+    }
+    if (count != size)
+        return fail("stored size disagrees with node count");
+    return true;
+}
+
+} // namespace sp

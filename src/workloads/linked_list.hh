@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LL: sorted singly linked list with write-ahead-logged updates
+ * (Table 1; the paper's running example, Figures 2-3).
+ *
+ * Node layout (64B, block aligned): key(+0,8) value(+8,8) next(+16,8).
+ * Metadata: head pointer and size at kWorkloadMetaBase.
+ *
+ * An operation searches a random key; if found the node is deleted, else
+ * a node is inserted (the list is capped at maxNodes, paper: 1024, so the
+ * search time does not dominate).
+ */
+
+#ifndef SP_WORKLOADS_LINKED_LIST_HH
+#define SP_WORKLOADS_LINKED_LIST_HH
+
+#include "workloads/workload.hh"
+
+namespace sp
+{
+
+/** Persistent sorted linked list benchmark. */
+class LinkedListWorkload : public Workload
+{
+  public:
+    /**
+     * @param maxNodes Size cap (Table 1: 1024).
+     * @param keyRange Keys drawn uniformly from [0, keyRange).
+     */
+    explicit LinkedListWorkload(const WorkloadParams &params,
+                                uint64_t maxNodes = 1024,
+                                uint64_t keyRange = 2048);
+
+    const char *name() const override { return "LL"; }
+
+    bool checkImage(const MemImage &img, std::string *why) const override;
+    std::vector<std::pair<uint64_t, uint64_t>>
+    contents(const MemImage &img) const override;
+
+  protected:
+    void create() override;
+    void doOperation() override;
+
+  private:
+    static constexpr Addr kMeta = kWorkloadMetaBase;
+    static constexpr unsigned kOffKey = 0;
+    static constexpr unsigned kOffValue = 8;
+    static constexpr unsigned kOffNext = 16;
+
+    uint64_t maxNodes_;
+    uint64_t keyRange_;
+
+    void insert(uint64_t key, Addr prev, Addr cur,
+                OpEmitter::Handle prevDep);
+    void remove(Addr prev, Addr victim, OpEmitter::Handle dep);
+};
+
+} // namespace sp
+
+#endif // SP_WORKLOADS_LINKED_LIST_HH

@@ -1,0 +1,485 @@
+#include "workloads/rb_tree.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+RbTreeWorkload::RbTreeWorkload(const WorkloadParams &params,
+                               uint64_t keyRange)
+    : TreeWorkload(params, keyRange)
+{
+}
+
+void
+RbTreeWorkload::create()
+{
+    em_.store(kMeta + 0, 0, 8); // root
+    em_.store(kMeta + 8, 0, 8); // size
+}
+
+uint64_t
+RbTreeWorkload::field(Addr n, unsigned off, OpEmitter::Handle dep,
+                      OpEmitter::Handle *h)
+{
+    return em_.load(n + off, 8, dep, h);
+}
+
+void
+RbTreeWorkload::setField(Addr n, unsigned off, uint64_t v,
+                         OpEmitter::Handle dep)
+{
+    em_.store(n + off, v, 8, dep);
+}
+
+Addr
+RbTreeWorkload::root()
+{
+    return em_.load(kMeta + 0, 8);
+}
+
+void
+RbTreeWorkload::setRoot(Addr n)
+{
+    em_.store(kMeta + 0, n, 8);
+}
+
+uint64_t
+RbTreeWorkload::colorOf(Addr n)
+{
+    if (n == 0)
+        return kBlack;
+    return field(n, kColor);
+}
+
+void
+RbTreeWorkload::setColor(Addr n, uint64_t c)
+{
+    if (field(n, kColor) != c)
+        setField(n, kColor, c);
+}
+
+void
+RbTreeWorkload::rotateLeft(Addr x)
+{
+    Addr y = field(x, kRight);
+    Addr yl = field(y, kLeft);
+    setField(x, kRight, yl);
+    if (yl != 0)
+        setField(yl, kParent, x);
+    Addr p = field(x, kParent);
+    setField(y, kParent, p);
+    if (p == 0)
+        setRoot(y);
+    else if (field(p, kLeft) == x)
+        setField(p, kLeft, y);
+    else
+        setField(p, kRight, y);
+    setField(y, kLeft, x);
+    setField(x, kParent, y);
+}
+
+void
+RbTreeWorkload::rotateRight(Addr x)
+{
+    Addr y = field(x, kLeft);
+    Addr yr = field(y, kRight);
+    setField(x, kLeft, yr);
+    if (yr != 0)
+        setField(yr, kParent, x);
+    Addr p = field(x, kParent);
+    setField(y, kParent, p);
+    if (p == 0)
+        setRoot(y);
+    else if (field(p, kRight) == x)
+        setField(p, kRight, y);
+    else
+        setField(p, kLeft, y);
+    setField(y, kRight, x);
+    setField(x, kParent, y);
+}
+
+void
+RbTreeWorkload::transplant(Addr u, Addr v)
+{
+    Addr p = field(u, kParent);
+    if (p == 0)
+        setRoot(v);
+    else if (field(p, kLeft) == u)
+        setField(p, kLeft, v);
+    else
+        setField(p, kRight, v);
+    if (v != 0)
+        setField(v, kParent, p);
+}
+
+Addr
+RbTreeWorkload::minimum(Addr n)
+{
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    unsigned guard = 0;
+    for (;;) {
+        Addr l = field(n, kLeft, dep, &dep);
+        if (l == 0)
+            return n;
+        n = l;
+        SP_ASSERT(++guard < 128, "rb tree deeper than 128 levels");
+    }
+}
+
+Addr
+RbTreeWorkload::findNode(uint64_t key)
+{
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    Addr cur = em_.load(kMeta + 0, 8, OpEmitter::kNoDep, &dep);
+    unsigned guard = 0;
+    while (cur != 0) {
+        OpEmitter::Handle kh = OpEmitter::kNoDep;
+        uint64_t nkey = field(cur, kKey, dep, &kh);
+        em_.aluChain(4, kh);
+        // Full logging: both children of every path node may be touched
+        // by the recoloring/rotation fixups, so read them here to place
+        // them in the conservative undo-log set.
+        Addr l = field(cur, kLeft, kh);
+        Addr r = field(cur, kRight, kh);
+        if (l != 0)
+            field(l, kColor, kh);
+        if (r != 0)
+            field(r, kColor, kh);
+        if (nkey == key)
+            return cur;
+        cur = nkey > key ? l : r;
+        if (cur != 0)
+            field(cur, kKey, kh, &dep);
+        SP_ASSERT(++guard < 128, "rb tree deeper than 128 levels");
+    }
+    return 0;
+}
+
+void
+RbTreeWorkload::insertNode(uint64_t key)
+{
+    Addr z = newNode();
+    setField(z, kKey, key);
+    setField(z, kVal, key * 13 + 9);
+    setField(z, kLeft, 0);
+    setField(z, kRight, 0);
+    setField(z, kColor, kRed);
+
+    // BST descent to find the parent.
+    Addr y = 0;
+    OpEmitter::Handle dep = OpEmitter::kNoDep;
+    Addr x = em_.load(kMeta + 0, 8, OpEmitter::kNoDep, &dep);
+    unsigned guard = 0;
+    while (x != 0) {
+        y = x;
+        OpEmitter::Handle kh = OpEmitter::kNoDep;
+        uint64_t xkey = field(x, kKey, dep, &kh);
+        em_.alu(2, kh);
+        x = field(x, key < xkey ? kLeft : kRight, kh, &dep);
+        SP_ASSERT(++guard < 128, "rb tree deeper than 128 levels");
+    }
+    setField(z, kParent, y);
+    if (y == 0) {
+        setRoot(z);
+    } else {
+        uint64_t ykey = field(y, kKey);
+        em_.alu(2);
+        setField(y, key < ykey ? kLeft : kRight, z);
+    }
+    insertFixup(z);
+}
+
+void
+RbTreeWorkload::insertFixup(Addr z)
+{
+    unsigned guard = 0;
+    while (true) {
+        Addr p = field(z, kParent);
+        if (p == 0 || colorOf(p) != kRed)
+            break;
+        Addr g = field(p, kParent);
+        SP_ASSERT(g != 0, "red parent with no grandparent");
+        em_.alu(3);
+        if (field(g, kLeft) == p) {
+            Addr u = field(g, kRight);
+            if (colorOf(u) == kRed) {
+                setColor(p, kBlack);
+                setColor(u, kBlack);
+                setColor(g, kRed);
+                z = g;
+            } else {
+                if (field(p, kRight) == z) {
+                    z = p;
+                    rotateLeft(z);
+                    p = field(z, kParent);
+                    g = field(p, kParent);
+                }
+                setColor(p, kBlack);
+                setColor(g, kRed);
+                rotateRight(g);
+            }
+        } else {
+            Addr u = field(g, kLeft);
+            if (colorOf(u) == kRed) {
+                setColor(p, kBlack);
+                setColor(u, kBlack);
+                setColor(g, kRed);
+                z = g;
+            } else {
+                if (field(p, kLeft) == z) {
+                    z = p;
+                    rotateRight(z);
+                    p = field(z, kParent);
+                    g = field(p, kParent);
+                }
+                setColor(p, kBlack);
+                setColor(g, kRed);
+                rotateLeft(g);
+            }
+        }
+        SP_ASSERT(++guard < 128, "insert fixup did not converge");
+    }
+    Addr r = root();
+    setColor(r, kBlack);
+}
+
+void
+RbTreeWorkload::deleteNode(Addr z)
+{
+    Addr y = z;
+    uint64_t y_color = colorOf(y);
+    Addr x = 0;
+    Addr x_parent = 0;
+
+    Addr zl = field(z, kLeft);
+    Addr zr = field(z, kRight);
+    if (zl == 0) {
+        x = zr;
+        x_parent = field(z, kParent);
+        transplant(z, zr);
+    } else if (zr == 0) {
+        x = zl;
+        x_parent = field(z, kParent);
+        transplant(z, zl);
+    } else {
+        y = minimum(zr);
+        y_color = colorOf(y);
+        x = field(y, kRight);
+        if (field(y, kParent) == z) {
+            x_parent = y;
+        } else {
+            x_parent = field(y, kParent);
+            transplant(y, x);
+            setField(y, kRight, field(z, kRight));
+            setField(field(y, kRight), kParent, y);
+        }
+        transplant(z, y);
+        setField(y, kLeft, zl);
+        setField(zl, kParent, y);
+        setColor(y, colorOf(z));
+    }
+    alloc_.free(z, kBlockBytes);
+    if (y_color == kBlack)
+        deleteFixup(x, x_parent);
+}
+
+void
+RbTreeWorkload::deleteFixup(Addr x, Addr xParent)
+{
+    unsigned guard = 0;
+    while (x != root() && colorOf(x) == kBlack) {
+        SP_ASSERT(xParent != 0, "fixup node with no parent");
+        em_.alu(3);
+        if (field(xParent, kLeft) == x) {
+            Addr w = field(xParent, kRight);
+            if (colorOf(w) == kRed) {
+                setColor(w, kBlack);
+                setColor(xParent, kRed);
+                rotateLeft(xParent);
+                w = field(xParent, kRight);
+            }
+            if (colorOf(field(w, kLeft)) == kBlack &&
+                colorOf(field(w, kRight)) == kBlack) {
+                setColor(w, kRed);
+                x = xParent;
+                xParent = field(x, kParent);
+            } else {
+                if (colorOf(field(w, kRight)) == kBlack) {
+                    setColor(field(w, kLeft), kBlack);
+                    setColor(w, kRed);
+                    rotateRight(w);
+                    w = field(xParent, kRight);
+                }
+                setColor(w, colorOf(xParent));
+                setColor(xParent, kBlack);
+                if (field(w, kRight) != 0)
+                    setColor(field(w, kRight), kBlack);
+                rotateLeft(xParent);
+                x = root();
+                xParent = 0;
+            }
+        } else {
+            Addr w = field(xParent, kLeft);
+            if (colorOf(w) == kRed) {
+                setColor(w, kBlack);
+                setColor(xParent, kRed);
+                rotateRight(xParent);
+                w = field(xParent, kLeft);
+            }
+            if (colorOf(field(w, kRight)) == kBlack &&
+                colorOf(field(w, kLeft)) == kBlack) {
+                setColor(w, kRed);
+                x = xParent;
+                xParent = field(x, kParent);
+            } else {
+                if (colorOf(field(w, kLeft)) == kBlack) {
+                    setColor(field(w, kRight), kBlack);
+                    setColor(w, kRed);
+                    rotateLeft(w);
+                    w = field(xParent, kLeft);
+                }
+                setColor(w, colorOf(xParent));
+                setColor(xParent, kBlack);
+                if (field(w, kLeft) != 0)
+                    setColor(field(w, kLeft), kBlack);
+                rotateRight(xParent);
+                x = root();
+                xParent = 0;
+            }
+        }
+        SP_ASSERT(++guard < 256, "delete fixup did not converge");
+    }
+    if (x != 0)
+        setColor(x, kBlack);
+}
+
+void
+RbTreeWorkload::performOp(uint64_t key)
+{
+    Addr z = findNode(key);
+    uint64_t size = em_.load(kMeta + 8, 8);
+    if (z != 0) {
+        deleteNode(z);
+        em_.store(kMeta + 8, size - 1, 8);
+    } else {
+        insertNode(key);
+        em_.store(kMeta + 8, size + 1, 8);
+    }
+}
+
+RbTreeWorkload::CheckResult
+RbTreeWorkload::checkRec(const MemImage &img, Addr n, Addr parent,
+                         bool hasMin, uint64_t minKey, bool hasMax,
+                         uint64_t maxKey, unsigned depth) const
+{
+    CheckResult res;
+    if (n == 0) {
+        res.blackHeight = 1;
+        return res;
+    }
+    if (depth > 128) {
+        res.ok = false;
+        res.why = "depth exceeds 128 (cycle?)";
+        return res;
+    }
+    if (n < kHeapBase || blockOffset(n) != 0) {
+        res.ok = false;
+        res.why = "node outside the heap or misaligned";
+        return res;
+    }
+    if (img.readInt(n + kParent, 8) != parent) {
+        res.ok = false;
+        res.why = "parent pointer inconsistent";
+        return res;
+    }
+    uint64_t key = img.readInt(n + kKey, 8);
+    if ((hasMin && key <= minKey) || (hasMax && key >= maxKey)) {
+        res.ok = false;
+        res.why = "BST order violated";
+        return res;
+    }
+    uint64_t color = img.readInt(n + kColor, 8);
+    if (color != kRed && color != kBlack) {
+        res.ok = false;
+        res.why = "invalid color";
+        return res;
+    }
+    Addr l = img.readInt(n + kLeft, 8);
+    Addr r = img.readInt(n + kRight, 8);
+    if (color == kRed) {
+        auto child_color = [&](Addr c) {
+            return c == 0 ? kBlack : img.readInt(c + kColor, 8);
+        };
+        if (child_color(l) == kRed || child_color(r) == kRed) {
+            res.ok = false;
+            res.why = "red node with red child";
+            return res;
+        }
+    }
+    CheckResult lres =
+        checkRec(img, l, n, hasMin, minKey, true, key, depth + 1);
+    if (!lres.ok)
+        return lres;
+    CheckResult rres =
+        checkRec(img, r, n, true, key, hasMax, maxKey, depth + 1);
+    if (!rres.ok)
+        return rres;
+    if (lres.blackHeight != rres.blackHeight) {
+        res.ok = false;
+        res.why = "black heights differ";
+        return res;
+    }
+    res.count = 1 + lres.count + rres.count;
+    res.blackHeight = lres.blackHeight + (color == kBlack ? 1 : 0);
+    return res;
+}
+
+bool
+RbTreeWorkload::checkImage(const MemImage &img, std::string *why) const
+{
+    Addr root_addr = img.readInt(kMeta + 0, 8);
+    uint64_t size = img.readInt(kMeta + 8, 8);
+    if (root_addr != 0 && img.readInt(root_addr + kColor, 8) != kBlack) {
+        if (why)
+            *why = "RT: root is not black";
+        return false;
+    }
+    CheckResult res =
+        checkRec(img, root_addr, 0, false, 0, false, 0, 0);
+    if (!res.ok) {
+        if (why)
+            *why = "RT: " + res.why;
+        return false;
+    }
+    if (res.count != size) {
+        if (why)
+            *why = "RT: stored size disagrees with node count";
+        return false;
+    }
+    return true;
+}
+
+void
+RbTreeWorkload::collectRec(const MemImage &img, Addr n,
+                           std::vector<std::pair<uint64_t, uint64_t>> &out,
+                           unsigned depth) const
+{
+    if (n == 0 || depth > 128)
+        return;
+    collectRec(img, img.readInt(n + kLeft, 8), out, depth + 1);
+    out.emplace_back(img.readInt(n + kKey, 8), img.readInt(n + kVal, 8));
+    collectRec(img, img.readInt(n + kRight, 8), out, depth + 1);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+RbTreeWorkload::contents(const MemImage &img) const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    collectRec(img, img.readInt(kMeta + 0, 8), out, 0);
+    return out;
+}
+
+} // namespace sp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * RT: red-black tree with parent pointers and write-ahead-logged, fully
+ * logged updates (Table 1). Standard CLRS insert/delete with fixups.
+ *
+ * Node layout (64B): key(+0,8) value(+8,8) left(+16,8) right(+24,8)
+ * parent(+32,8) color(+40,8: 0 black, 1 red). Null links are 0.
+ * Metadata: root(+0) size(+8).
+ */
+
+#ifndef SP_WORKLOADS_RB_TREE_HH
+#define SP_WORKLOADS_RB_TREE_HH
+
+#include "workloads/tree_workload.hh"
+
+namespace sp
+{
+
+/** Persistent red-black tree benchmark. */
+class RbTreeWorkload : public TreeWorkload
+{
+  public:
+    explicit RbTreeWorkload(const WorkloadParams &params,
+                            uint64_t keyRange = 65536);
+
+    const char *name() const override { return "RT"; }
+
+    bool checkImage(const MemImage &img, std::string *why) const override;
+    std::vector<std::pair<uint64_t, uint64_t>>
+    contents(const MemImage &img) const override;
+
+  protected:
+    void create() override;
+    void performOp(uint64_t key) override;
+
+  private:
+    static constexpr Addr kMeta = kWorkloadMetaBase;
+    static constexpr unsigned kKey = 0;
+    static constexpr unsigned kVal = 8;
+    static constexpr unsigned kLeft = 16;
+    static constexpr unsigned kRight = 24;
+    static constexpr unsigned kParent = 32;
+    static constexpr unsigned kColor = 40;
+    static constexpr uint64_t kBlack = 0;
+    static constexpr uint64_t kRed = 1;
+
+    uint64_t field(Addr n, unsigned off,
+                   OpEmitter::Handle dep = OpEmitter::kNoDep,
+                   OpEmitter::Handle *h = nullptr);
+    void setField(Addr n, unsigned off, uint64_t v,
+                  OpEmitter::Handle dep = OpEmitter::kNoDep);
+
+    Addr root();
+    void setRoot(Addr n);
+    uint64_t colorOf(Addr n); // null is black
+    void setColor(Addr n, uint64_t c);
+
+    void rotateLeft(Addr x);
+    void rotateRight(Addr x);
+    /** Replace subtree `u` with `v` in u's parent (v may be 0). */
+    void transplant(Addr u, Addr v);
+    Addr minimum(Addr n);
+    Addr findNode(uint64_t key);
+
+    void insertNode(uint64_t key);
+    void insertFixup(Addr z);
+    void deleteNode(Addr z);
+    void deleteFixup(Addr x, Addr xParent);
+
+    struct CheckResult
+    {
+        bool ok = true;
+        uint64_t count = 0;
+        int blackHeight = 0;
+        std::string why;
+    };
+    CheckResult checkRec(const MemImage &img, Addr n, Addr parent,
+                         bool hasMin, uint64_t minKey, bool hasMax,
+                         uint64_t maxKey, unsigned depth) const;
+    void collectRec(const MemImage &img, Addr n,
+                    std::vector<std::pair<uint64_t, uint64_t>> &out,
+                    unsigned depth) const;
+};
+
+} // namespace sp
+
+#endif // SP_WORKLOADS_RB_TREE_HH

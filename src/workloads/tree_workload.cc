@@ -1,0 +1,87 @@
+#include "workloads/tree_workload.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+TreeWorkload::TreeWorkload(const WorkloadParams &params, uint64_t keyRange)
+    : Workload(params), keyRange_(keyRange)
+{
+}
+
+Addr
+TreeWorkload::newNode()
+{
+    Addr addr = alloc_.alloc(kBlockBytes);
+    freshNodes_.push_back(addr);
+    return addr;
+}
+
+bool
+TreeWorkload::runTx(const std::function<void()> &body)
+{
+    // Pass A (shadow): learn the exact touched-block set without mutating
+    // anything; the allocator is rewound so pass B allocates identically.
+    auto alloc_snapshot = alloc_.save();
+    freshNodes_.clear();
+    em_.beginShadow();
+    body();
+    auto shadow = em_.endShadow();
+    alloc_.restore(alloc_snapshot);
+
+    if (shadow.writtenBlocks.empty()) {
+        // Read-only: no transaction, no barriers; just execute.
+        freshNodes_.clear();
+        body();
+        return false;
+    }
+
+    std::vector<Addr> fresh = freshNodes_;
+    std::sort(fresh.begin(), fresh.end());
+
+    // Log set: everything read or written, minus freshly allocated nodes
+    // (their pre-state is garbage and undo never needs it) and minus the
+    // generation block (logged separately).
+    std::vector<Addr> log_set = shadow.readBlocks;
+    log_set.insert(log_set.end(), shadow.writtenBlocks.begin(),
+                   shadow.writtenBlocks.end());
+    std::sort(log_set.begin(), log_set.end());
+    log_set.erase(std::unique(log_set.begin(), log_set.end()),
+                  log_set.end());
+    std::erase_if(log_set, [&](Addr a) {
+        return std::binary_search(fresh.begin(), fresh.end(), a) ||
+            a == blockAlign(kGenerationAddr);
+    });
+
+    // Pass B (real): the paper's four-step transaction.
+    tx_.begin();
+    for (Addr blk : log_set)
+        tx_.logRange(blk, kBlockBytes);
+    logGeneration();
+    tx_.seal();
+
+    freshNodes_.clear();
+    body();
+
+    for (Addr blk : shadow.writtenBlocks) {
+        if (blk != blockAlign(kGenerationAddr))
+            em_.clwb(blk);
+    }
+    bumpGeneration();
+    tx_.commitUpdates();
+    tx_.end();
+    return true;
+}
+
+void
+TreeWorkload::doOperation()
+{
+    uint64_t key = rng_.nextBounded(keyRange_);
+    appWork(1200);
+    runTx([&] { performOp(key); });
+}
+
+} // namespace sp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Base for the self-balancing tree benchmarks (AT, BT, RT) implementing
+ * the paper's *full logging* policy (Section 3.2, Figure 5).
+ *
+ * Full logging conservatively logs, before any modification, every node
+ * that rebalancing may need. We obtain that set exactly with a shadow
+ * pass: the operation dry-runs against a copy-on-write overlay (no
+ * emission, no image mutation), recording every block it reads or writes;
+ * the transaction then undo-logs the set and the operation re-executes for
+ * real. One transaction -- four pcommits -- per operation, whether or not
+ * rebalancing triggers, exactly as the paper argues for full logging.
+ */
+
+#ifndef SP_WORKLOADS_TREE_WORKLOAD_HH
+#define SP_WORKLOADS_TREE_WORKLOAD_HH
+
+#include <functional>
+
+#include "workloads/workload.hh"
+
+namespace sp
+{
+
+/** Shared two-pass transactional driver for tree benchmarks. */
+class TreeWorkload : public Workload
+{
+  public:
+    TreeWorkload(const WorkloadParams &params, uint64_t keyRange);
+
+  protected:
+    /**
+     * One insert-or-delete operation: search for `key`; delete the node
+     * if found, insert it otherwise. Runs twice per doOperation() -- once
+     * in shadow, once for real -- so it must be deterministic and must
+     * perform all memory access through the emitter (never through
+     * image() directly).
+     */
+    virtual void performOp(uint64_t key) = 0;
+
+    void doOperation() override;
+
+    /** Allocate a node, remembering it is fresh (excluded from the log). */
+    Addr newNode();
+
+    /**
+     * Run one transaction of the two-pass protocol around `body`: shadow
+     * pass to learn the touched-block set, undo-log it, re-execute for
+     * real, clwb the written blocks, bump the generation, commit. If the
+     * shadow pass writes nothing, `body` runs once without a transaction
+     * (a read-only step costs no barriers).
+     *
+     * @return true if a transaction was committed (body wrote something).
+     */
+    bool runTx(const std::function<void()> &body);
+
+    uint64_t keyRange_;
+
+  private:
+    std::vector<Addr> freshNodes_;
+};
+
+} // namespace sp
+
+#endif // SP_WORKLOADS_TREE_WORKLOAD_HH

@@ -1,0 +1,103 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+Workload::Workload(const WorkloadParams &params)
+    : params_(params), imageStorage_(std::make_unique<MemImage>()),
+      alloc_(kHeapBase, kHeapBytes), em_(*imageStorage_, params.mode),
+      tx_(em_), rng_(params.seed)
+{
+    em_.setGenerator([this] { return generateNext(); });
+    em_.setEvictOnPersist(params.evictOnPersist);
+}
+
+void
+Workload::setup()
+{
+    SP_ASSERT(!created_, "setup() called twice");
+    em_.setMuted(true);
+    create();
+    created_ = true;
+    for (uint64_t i = 0; i < params_.initOps; ++i)
+        doOperation();
+    em_.setMuted(false);
+}
+
+bool
+Workload::generateNext()
+{
+    SP_ASSERT(created_, "generator invoked before setup()");
+    if (opsDone_ >= params_.simOps)
+        return false;
+    doOperation();
+    ++opsDone_;
+    return true;
+}
+
+void
+Workload::runFunctional(uint64_t ops)
+{
+    SP_ASSERT(created_, "runFunctional before setup()");
+    em_.setMuted(true);
+    for (uint64_t i = 0; i < ops; ++i)
+        doOperation();
+    em_.setMuted(false);
+}
+
+bool
+Workload::replayStopRequested() const
+{
+    return stopAtGen_ != 0 && generation(em_.image()) >= stopAtGen_;
+}
+
+void
+Workload::runFunctionalToGeneration(uint64_t gen)
+{
+    SP_ASSERT(created_, "runFunctionalToGeneration before setup()");
+    em_.setMuted(true);
+    stopAtGen_ = gen;
+    uint64_t guard = 0;
+    uint64_t limit = (gen + 16) * 16;
+    while (generation(em_.image()) < gen) {
+        doOperation();
+        SP_ASSERT(++guard < limit,
+                  "generation ", gen, " unreachable by replay");
+    }
+    stopAtGen_ = 0;
+    em_.setMuted(false);
+    SP_ASSERT(generation(em_.image()) == gen,
+              "replay overshot the target generation");
+}
+
+uint64_t
+Workload::generation(const MemImage &img)
+{
+    return img.readInt(kGenerationAddr, 8);
+}
+
+void
+Workload::appWork(unsigned cycles)
+{
+    serialHandle_ = em_.aluChain(cycles, serialHandle_);
+}
+
+void
+Workload::logGeneration()
+{
+    tx_.logRange(kGenerationAddr, 8);
+}
+
+void
+Workload::bumpGeneration()
+{
+    if (em_.mode() < PersistMode::kLog)
+        return;
+    uint64_t gen = em_.load(kGenerationAddr, 8);
+    em_.store(kGenerationAddr, gen + 1, 8);
+    em_.clwb(kGenerationAddr);
+}
+
+} // namespace sp

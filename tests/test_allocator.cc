@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests: NVMM heap allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmem/allocator.hh"
+#include "pmem/layout.hh"
+
+using namespace sp;
+
+TEST(Allocator, BlockAlignedAllocations)
+{
+    NvmAllocator alloc(kHeapBase, 1 << 20);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(blockOffset(alloc.alloc(48)), 0u);
+}
+
+TEST(Allocator, RoundsUpToBlocks)
+{
+    NvmAllocator alloc(kHeapBase, 1 << 20);
+    Addr a = alloc.alloc(1);
+    Addr b = alloc.alloc(1);
+    EXPECT_EQ(b - a, kBlockBytes);
+    Addr c = alloc.alloc(65);
+    Addr d = alloc.alloc(1);
+    EXPECT_EQ(d - c, 2 * kBlockBytes);
+}
+
+TEST(Allocator, FreeListReuse)
+{
+    NvmAllocator alloc(kHeapBase, 1 << 20);
+    Addr a = alloc.alloc(64);
+    alloc.alloc(64);
+    alloc.free(a, 64);
+    EXPECT_EQ(alloc.alloc(64), a);
+}
+
+TEST(Allocator, SizeClassesSeparate)
+{
+    NvmAllocator alloc(kHeapBase, 1 << 20);
+    Addr a = alloc.alloc(64);
+    alloc.free(a, 64);
+    // A 128B request must not reuse the 64B slot.
+    Addr b = alloc.alloc(128);
+    EXPECT_NE(b, a);
+}
+
+TEST(Allocator, Determinism)
+{
+    NvmAllocator a(kHeapBase, 1 << 20), b(kHeapBase, 1 << 20);
+    for (int i = 0; i < 50; ++i) {
+        Addr x = a.alloc(64);
+        Addr y = b.alloc(64);
+        EXPECT_EQ(x, y);
+        if (i % 3 == 0) {
+            a.free(x, 64);
+            b.free(y, 64);
+        }
+    }
+}
+
+TEST(Allocator, SaveRestoreRewindsExactly)
+{
+    NvmAllocator alloc(kHeapBase, 1 << 20);
+    Addr first = alloc.alloc(64);
+    alloc.free(first, 64);
+    auto snap = alloc.save();
+    Addr a1 = alloc.alloc(64);
+    Addr a2 = alloc.alloc(128);
+    alloc.free(a1, 64);
+    alloc.restore(snap);
+    EXPECT_EQ(alloc.alloc(64), a1);
+    EXPECT_EQ(alloc.alloc(128), a2);
+}
+
+TEST(Allocator, LiveByteAccounting)
+{
+    NvmAllocator alloc(kHeapBase, 1 << 20);
+    Addr a = alloc.alloc(100); // rounds to 128
+    EXPECT_EQ(alloc.bytesLive(), 128u);
+    alloc.free(a, 100);
+    EXPECT_EQ(alloc.bytesLive(), 0u);
+    EXPECT_EQ(alloc.bytesReserved(), 128u);
+}
+
+TEST(Allocator, ExhaustionDies)
+{
+    NvmAllocator alloc(kHeapBase, 128);
+    alloc.alloc(64);
+    alloc.alloc(64);
+    EXPECT_DEATH(alloc.alloc(64), "exhausted");
+}
+
+TEST(Allocator, FreeOutsideHeapDies)
+{
+    NvmAllocator alloc(kHeapBase, 1 << 20);
+    alloc.alloc(64);
+    EXPECT_DEATH(alloc.free(kHeapBase + (1 << 19), 64), "outside");
+}

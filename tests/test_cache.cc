@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests: a single cache level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/cache.hh"
+
+using namespace sp;
+
+namespace
+{
+
+Cache
+smallCache()
+{
+    // 4 sets x 2 ways x 64B = 512B.
+    return Cache("test", CacheConfig{512, 2, 1});
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache = smallCache();
+    EXPECT_EQ(cache.find(0x1000), nullptr);
+    Cache::Victim victim;
+    Cache::Block *blk = cache.allocate(0x1000, &victim);
+    ASSERT_NE(blk, nullptr);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_NE(cache.find(0x1000), nullptr);
+}
+
+TEST(Cache, TagIncludesFullAddress)
+{
+    Cache cache = smallCache();
+    cache.allocate(0x1000, nullptr);
+    // Same set (4 sets * 64B stride = 256B period), different tag.
+    EXPECT_EQ(cache.find(0x1000 + 4 * 64), nullptr);
+}
+
+TEST(Cache, OffsetWithinBlockHits)
+{
+    Cache cache = smallCache();
+    cache.allocate(0x1000, nullptr);
+    EXPECT_NE(cache.find(0x103F), nullptr);
+    EXPECT_EQ(cache.find(0x1040), nullptr);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache = smallCache();
+    // Three blocks mapping to the same set (stride 256B).
+    cache.allocate(0x0, nullptr);
+    cache.allocate(0x100, nullptr);
+    cache.find(0x0); // touch to make 0x100 the LRU
+    Cache::Victim victim;
+    cache.allocate(0x200, &victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, 0x100u);
+    EXPECT_NE(cache.find(0x0), nullptr);
+    EXPECT_EQ(cache.find(0x100), nullptr);
+}
+
+TEST(Cache, VictimCarriesDataAndDirty)
+{
+    Cache cache = smallCache();
+    Cache::Block *blk = cache.allocate(0x0, nullptr);
+    blk->dirty = true;
+    std::memset(blk->data, 0xab, kBlockBytes);
+    cache.allocate(0x100, nullptr);
+    Cache::Victim victim;
+    cache.allocate(0x200, &victim); // evicts 0x0 (LRU)
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+    EXPECT_EQ(victim.addr, 0x0u);
+    EXPECT_EQ(victim.data[0], 0xab);
+}
+
+TEST(Cache, AllocateExistingBlockKeepsState)
+{
+    Cache cache = smallCache();
+    Cache::Block *blk = cache.allocate(0x0, nullptr);
+    blk->dirty = true;
+    blk->data[0] = 42;
+    Cache::Victim victim;
+    Cache::Block *again = cache.allocate(0x0, &victim);
+    EXPECT_EQ(again, blk);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_TRUE(again->dirty);
+    EXPECT_EQ(again->data[0], 42);
+}
+
+TEST(Cache, InvalidateRemovesBlock)
+{
+    Cache cache = smallCache();
+    cache.allocate(0x1000, nullptr);
+    cache.invalidate(0x1000);
+    EXPECT_EQ(cache.find(0x1000), nullptr);
+}
+
+TEST(Cache, InvalidateAbsentIsNoop)
+{
+    Cache cache = smallCache();
+    cache.invalidate(0x9000);
+    EXPECT_EQ(cache.find(0x9000), nullptr);
+}
+
+TEST(Cache, PeekDoesNotTouchLru)
+{
+    Cache cache = smallCache();
+    cache.allocate(0x0, nullptr);
+    cache.allocate(0x100, nullptr);
+    cache.peek(0x0); // must NOT refresh 0x0
+    Cache::Victim victim;
+    cache.allocate(0x200, &victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, 0x0u);
+}
+
+TEST(Cache, FlushAllEmptiesCache)
+{
+    Cache cache = smallCache();
+    cache.allocate(0x0, nullptr);
+    cache.allocate(0x40, nullptr);
+    cache.flushAll();
+    EXPECT_EQ(cache.find(0x0), nullptr);
+    EXPECT_EQ(cache.find(0x40), nullptr);
+}
+
+TEST(Cache, ForEachBlockVisitsValidOnly)
+{
+    Cache cache = smallCache();
+    cache.allocate(0x0, nullptr);
+    cache.allocate(0x40, nullptr);
+    unsigned count = 0;
+    cache.forEachBlock([&](Cache::Block &) { ++count; });
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(Cache, GeometryFromTable2)
+{
+    Cache l1("L1D", CacheConfig{32 * 1024, 8, 2});
+    EXPECT_EQ(l1.numSets(), 64u);
+    EXPECT_EQ(l1.ways(), 8u);
+    EXPECT_EQ(l1.latency(), 2u);
+    Cache l3("L3", CacheConfig{2 * 1024 * 1024, 16, 20});
+    EXPECT_EQ(l3.numSets(), 2048u);
+}

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests: the out-of-order pipeline model -- widths, dependences,
+ * memory latency, store buffer, fence semantics (without speculation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_core.hh"
+#include "isa/program.hh"
+#include "mem/cache_hierarchy.hh"
+#include "mem/mem_system.hh"
+
+using namespace sp;
+
+namespace
+{
+
+struct Machine
+{
+    SimConfig cfg;
+    MemImage durable;
+    Stats stats;
+
+    explicit Machine(bool sp = false) { cfg.sp.enabled = sp; }
+
+    Tick
+    run(std::vector<MicroOp> ops)
+    {
+        TraceProgram prog(std::move(ops));
+        MemSystem mc(cfg.mem, durable);
+        CacheHierarchy caches(cfg, mc);
+        mc.setStats(&stats);
+        caches.setStats(&stats);
+        OooCore core(cfg, prog, caches, mc, stats);
+        core.run();
+        return stats.cycles;
+    }
+};
+
+constexpr Addr kA = 0x10000000;
+
+} // namespace
+
+TEST(Pipeline, IndependentAluRunsAtIssueWidth)
+{
+    Machine m;
+    std::vector<MicroOp> ops(400, MicroOp::alu(1));
+    Tick cycles = m.run(ops);
+    // 400 independent 1-cycle ops, 4-wide: ~100 cycles + pipeline fill.
+    EXPECT_LE(cycles, 120u);
+    EXPECT_GE(cycles, 100u);
+    EXPECT_EQ(m.stats.instructions, 400u);
+}
+
+TEST(Pipeline, RleAluExpandsToInstructions)
+{
+    Machine m;
+    Tick cycles = m.run({MicroOp::alu(1000)});
+    EXPECT_EQ(m.stats.instructions, 1000u);
+    EXPECT_LE(cycles, 300u); // bandwidth-bound at 4/cycle
+}
+
+TEST(Pipeline, ChainedAluSerializes)
+{
+    Machine m;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 100; ++i)
+        ops.push_back(MicroOp::aluChain(1, i == 0 ? 0 : 1));
+    Tick cycles = m.run(ops);
+    EXPECT_GE(cycles, 100u);
+    EXPECT_LE(cycles, 130u);
+}
+
+TEST(Pipeline, AluChainRepeatTakesRepeatCycles)
+{
+    Machine m;
+    Tick cycles = m.run({MicroOp::aluChain(500)});
+    EXPECT_GE(cycles, 500u);
+    EXPECT_EQ(m.stats.instructions, 500u);
+}
+
+TEST(Pipeline, DependentLoadsChainThroughCache)
+{
+    Machine m;
+    // 10 L1-resident loads, each dependent on the previous: >= 10 x 2.
+    std::vector<MicroOp> warm, ops;
+    for (int i = 0; i < 10; ++i)
+        warm.push_back(MicroOp::load(kA + i * 8, 8));
+    for (int i = 0; i < 10; ++i)
+        ops.push_back(MicroOp::load(kA + i * 8, 8, i == 0 ? 0 : 1));
+    for (auto &op : ops)
+        warm.push_back(op);
+    Tick cycles = m.run(warm);
+    EXPECT_GE(cycles, 20u);
+}
+
+TEST(Pipeline, ColdLoadPaysNvmmLatency)
+{
+    Machine m;
+    Tick cycles = m.run({MicroOp::load(kA, 8)});
+    EXPECT_GE(cycles, static_cast<Tick>(m.cfg.mem.nvmmReadCycles));
+    EXPECT_EQ(m.stats.nvmmReads, 1u);
+}
+
+TEST(Pipeline, StoresDrainThroughStoreBuffer)
+{
+    Machine m;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 10; ++i)
+        ops.push_back(MicroOp::store(kA + i * 8, i, 8));
+    m.run(ops);
+    EXPECT_EQ(m.stats.stores, 10u);
+    // All to one block: one dirty block in the hierarchy, no WPQ traffic.
+    EXPECT_EQ(m.stats.wpqInserts, 0u);
+}
+
+TEST(Pipeline, SfenceAloneIsCheap)
+{
+    Machine m;
+    Tick with = m.run({MicroOp::alu(100), MicroOp::sfence(),
+                       MicroOp::alu(100)});
+    Machine m2;
+    Tick without = m2.run({MicroOp::alu(100), MicroOp::alu(100)});
+    EXPECT_LE(with, without + 20);
+}
+
+TEST(Pipeline, SfenceWaitsForStoreBuffer)
+{
+    // Store to a cold block: the fence cannot retire until the store
+    // buffer drains (which needs the fill).
+    Machine m;
+    Tick cycles =
+        m.run({MicroOp::store(kA, 1, 8), MicroOp::sfence()});
+    EXPECT_GE(cycles, static_cast<Tick>(m.cfg.mem.nvmmReadCycles));
+}
+
+TEST(Pipeline, PersistBarrierCostsNvmmWrite)
+{
+    Machine m;
+    Tick cycles = m.run({
+        MicroOp::store(kA, 1, 8),
+        MicroOp::clwb(kA),
+        MicroOp::sfence(),
+        MicroOp::pcommit(),
+        MicroOp::sfence(),
+    });
+    EXPECT_GE(cycles, static_cast<Tick>(m.cfg.mem.nvmmWriteCycles));
+    EXPECT_EQ(m.stats.nvmmWrites, 1u);
+    EXPECT_GT(m.stats.fenceStallCycles, 0u);
+    // And the data really is durable.
+    EXPECT_EQ(m.durable.readInt(kA, 8), 1u);
+}
+
+TEST(Pipeline, ClwbOrderedBehindSameBlockStore)
+{
+    // Regression: clwb must not write back a block whose older store is
+    // still sitting in the store buffer.
+    Machine m;
+    m.run({
+        MicroOp::store(kA, 0xCAFE, 8),
+        MicroOp::clwb(kA),
+        MicroOp::sfence(),
+        MicroOp::pcommit(),
+        MicroOp::sfence(),
+    });
+    EXPECT_EQ(m.durable.readInt(kA, 8), 0xCAFEu);
+}
+
+TEST(Pipeline, PcommitAloneDoesNotStall)
+{
+    Machine with, without;
+    std::vector<MicroOp> base = {MicroOp::store(kA, 1, 8),
+                                 MicroOp::clwb(kA)};
+    std::vector<MicroOp> ops = base;
+    ops.push_back(MicroOp::pcommit());
+    ops.push_back(MicroOp::alu(200));
+    std::vector<MicroOp> ops2 = base;
+    ops2.push_back(MicroOp::alu(200));
+    Tick t1 = with.run(ops);
+    Tick t2 = without.run(ops2);
+    EXPECT_LE(t1, t2 + 10);
+}
+
+TEST(Pipeline, PcommitsOverlapWithoutFences)
+{
+    // Log+P style: many clwb+pcommit pairs, no sfences -> flushes overlap.
+    Machine m;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 8; ++i) {
+        ops.push_back(MicroOp::store(kA + i * 4096, 1, 8));
+        ops.push_back(MicroOp::clwb(kA + i * 4096));
+        ops.push_back(MicroOp::pcommit());
+    }
+    m.run(ops);
+    EXPECT_GE(m.stats.maxInflightPcommits, 2u);
+    EXPECT_EQ(m.stats.pcommits, 8u);
+}
+
+TEST(Pipeline, FetchQueueStallsWhenRetirementBlocked)
+{
+    Machine m;
+    std::vector<MicroOp> ops = {
+        MicroOp::store(kA, 1, 8),
+        MicroOp::clwb(kA),
+        MicroOp::sfence(),
+        MicroOp::pcommit(),
+        MicroOp::sfence(),
+    };
+    for (int i = 0; i < 2000; ++i)
+        ops.push_back(MicroOp::alu(1));
+    m.run(ops);
+    EXPECT_GT(m.stats.fetchQueueStallCycles, 0u);
+}
+
+TEST(Pipeline, MfenceBehavesLikeSfenceForPersists)
+{
+    Machine m;
+    Tick cycles = m.run({
+        MicroOp::store(kA, 1, 8),
+        MicroOp::clwb(kA),
+        MicroOp::mfence(),
+        MicroOp::pcommit(),
+        MicroOp::mfence(),
+    });
+    EXPECT_GE(cycles, static_cast<Tick>(m.cfg.mem.nvmmWriteCycles));
+    EXPECT_EQ(m.durable.readInt(kA, 8), 1u);
+}
+
+TEST(Pipeline, XchgActsAsFenceAndStore)
+{
+    Machine m;
+    m.run({
+        MicroOp::store(kA, 1, 8),
+        MicroOp::clwb(kA),
+        MicroOp::sfence(),
+        MicroOp::pcommit(),
+        MicroOp::xchg(kA + 8, 7),
+    });
+    // The xchg waited for the pcommit, then stored.
+    EXPECT_EQ(m.stats.stores, 2u);
+    EXPECT_EQ(m.durable.readInt(kA, 8), 1u);
+}
+
+TEST(Pipeline, InstructionCountsExact)
+{
+    Machine m;
+    m.run({MicroOp::alu(10), MicroOp::load(kA, 8),
+           MicroOp::store(kA, 1, 8), MicroOp::clwb(kA),
+           MicroOp::pcommit(), MicroOp::sfence(), MicroOp::aluChain(5)});
+    EXPECT_EQ(m.stats.instructions, 10u + 1 + 1 + 1 + 1 + 1 + 5);
+    EXPECT_EQ(m.stats.loads, 1u);
+    EXPECT_EQ(m.stats.stores, 1u);
+    EXPECT_EQ(m.stats.cacheWritebackOps, 1u);
+    EXPECT_EQ(m.stats.pcommits, 1u);
+    EXPECT_EQ(m.stats.fences, 1u);
+}
+
+TEST(Pipeline, RunUntilStopsEarly)
+{
+    SimConfig cfg;
+    MemImage durable;
+    Stats stats;
+    std::vector<MicroOp> ops(10000, MicroOp::alu(1));
+    TraceProgram prog(ops);
+    MemSystem mc(cfg.mem, durable);
+    CacheHierarchy caches(cfg, mc);
+    OooCore core(cfg, prog, caches, mc, stats);
+    EXPECT_FALSE(core.runUntil(100));
+    EXPECT_GE(core.now(), 100u);
+    EXPECT_LT(stats.instructions, 10000u);
+    EXPECT_TRUE(core.runUntil(kTickNever));
+    EXPECT_EQ(stats.instructions, 10000u);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    auto build = [] {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < 50; ++i) {
+            ops.push_back(MicroOp::store(kA + i * 64, i, 8));
+            ops.push_back(MicroOp::clwb(kA + i * 64));
+            if (i % 5 == 0) {
+                ops.push_back(MicroOp::sfence());
+                ops.push_back(MicroOp::pcommit());
+                ops.push_back(MicroOp::sfence());
+            }
+        }
+        return ops;
+    };
+    Machine a, b;
+    EXPECT_EQ(a.run(build()), b.run(build()));
+}

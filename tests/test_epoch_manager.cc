@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests: the epoch commit engine driven directly (no pipeline),
+ * including the strict (paper-literal) mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/epoch_manager.hh"
+#include "sim/config.hh"
+
+using namespace sp;
+
+namespace
+{
+
+constexpr Addr kA = 0x10000000;
+
+struct Rig
+{
+    SimConfig cfg;
+    MemImage durable;
+    MemSystem mc;
+    CacheHierarchy caches;
+    Stats stats;
+    SpeculativeStoreBuffer ssb{256};
+    CheckpointBuffer cps{4};
+    EpochManager em;
+
+    explicit Rig(bool strict = false)
+        : mc(cfg.mem, durable), caches(cfg, mc),
+          em(ssb, cps, caches, mc, stats, strict)
+    {
+        mc.advanceTo(0);
+    }
+
+    void
+    pushStore(Addr addr, uint64_t value, uint64_t epoch)
+    {
+        SsbEntry e;
+        e.type = SsbEntryType::kStore;
+        e.addr = addr;
+        e.value = value;
+        e.size = 8;
+        e.epoch = epoch;
+        ssb.push(e);
+    }
+
+    void
+    pushDelayed(SsbEntryType type, Addr addr, uint64_t epoch)
+    {
+        SsbEntry e;
+        e.type = type;
+        e.addr = addr;
+        e.epoch = epoch;
+        ssb.push(e);
+    }
+
+    /** Tick both MC and engine from `from` to `to`. */
+    void
+    spin(Tick from, Tick to)
+    {
+        for (Tick t = from; t <= to; ++t) {
+            mc.advanceTo(t);
+            em.tick(t);
+        }
+    }
+};
+
+} // namespace
+
+TEST(EpochManager, BeginAllocatesCheckpoint)
+{
+    Rig r;
+    ASSERT_TRUE(r.em.beginSpeculation(100, {}));
+    EXPECT_TRUE(r.em.speculating());
+    EXPECT_EQ(r.cps.inUse(), 1u);
+    EXPECT_EQ(r.em.oldestCursor(), 100u);
+}
+
+TEST(EpochManager, ChildrenConsumeCheckpoints)
+{
+    Rig r;
+    r.em.beginSpeculation(1, {});
+    EXPECT_TRUE(r.em.startChild(2));
+    EXPECT_TRUE(r.em.startChild(3));
+    EXPECT_TRUE(r.em.startChild(4));
+    EXPECT_FALSE(r.em.canStartChild());
+    EXPECT_FALSE(r.em.startChild(5));
+    EXPECT_EQ(r.em.epochCount(), 4u);
+    EXPECT_EQ(r.em.oldestCursor(), 1u);
+}
+
+TEST(EpochManager, ExitRequiresGateAndEmptySsb)
+{
+    Rig r;
+    uint64_t flush = r.mc.startFlush(0); // empty WPQ: already complete
+    r.em.beginSpeculation(1, {flush});
+    EXPECT_FALSE(r.em.readyToExit()); // pre-spec not drained yet
+    r.em.setPreSpecDrained(true);
+    EXPECT_TRUE(r.em.readyToExit());
+    r.em.exitSpeculation();
+    EXPECT_FALSE(r.em.speculating());
+    EXPECT_EQ(r.cps.inUse(), 0u);
+}
+
+TEST(EpochManager, DrainPerformsStores)
+{
+    Rig r;
+    r.em.beginSpeculation(1, {});
+    r.em.setPreSpecDrained(true);
+    r.pushStore(kA, 42, r.em.currentEpoch());
+    r.spin(0, 10);
+    EXPECT_TRUE(r.ssb.empty());
+    EXPECT_TRUE(r.caches.isDirty(kA));
+}
+
+TEST(EpochManager, PipelinedDrainDoesNotWaitForFlushes)
+{
+    Rig r(false);
+    r.em.beginSpeculation(1, {});
+    r.em.setPreSpecDrained(true);
+    uint64_t e1 = r.em.currentEpoch();
+    r.pushStore(kA, 1, e1);
+    r.pushDelayed(SsbEntryType::kClwb, kA, e1);
+    r.pushDelayed(SsbEntryType::kSps, 0, e1);
+    r.em.startChild(2);
+    uint64_t e2 = r.em.currentEpoch();
+    r.pushStore(kA + 64, 2, e2);
+    // Within a handful of cycles everything drains, long before the
+    // ~315-cycle NVMM write behind the flush completes.
+    r.spin(0, 20);
+    EXPECT_TRUE(r.ssb.empty());
+    EXPECT_TRUE(r.caches.isDirty(kA + 64));
+    // But the first epoch has not committed yet (flush pending).
+    EXPECT_EQ(r.em.epochCount(), 2u);
+    // Once the flush completes (NVMM write behind reads sharing the
+    // bank), it retires.
+    r.spin(21, 700);
+    EXPECT_EQ(r.em.epochCount(), 1u);
+}
+
+TEST(EpochManager, StrictDrainWaitsForFlush)
+{
+    Rig r(true);
+    r.em.beginSpeculation(1, {});
+    r.em.setPreSpecDrained(true);
+    uint64_t e1 = r.em.currentEpoch();
+    r.pushStore(kA, 1, e1);
+    r.pushDelayed(SsbEntryType::kClwb, kA, e1);
+    r.pushDelayed(SsbEntryType::kSps, 0, e1);
+    r.em.startChild(2);
+    r.pushStore(kA + 64, 2, r.em.currentEpoch());
+    r.spin(0, 20);
+    // The kSps flush blocks the drain: the child's store is still queued.
+    EXPECT_FALSE(r.ssb.empty());
+    EXPECT_FALSE(r.caches.isDirty(kA + 64));
+    r.spin(21, 700);
+    EXPECT_TRUE(r.ssb.empty());
+    EXPECT_TRUE(r.caches.isDirty(kA + 64));
+}
+
+TEST(EpochManager, StrictDrainHonorsEpoch0Gate)
+{
+    Rig r(true);
+    // A pending WPQ write keeps the trigger flush incomplete.
+    uint8_t data[kBlockBytes] = {1};
+    r.mc.insertWrite(kA + 0x1000, data, false);
+    uint64_t gate = r.mc.startFlush(0);
+    ASSERT_FALSE(r.mc.flushComplete(gate));
+    r.em.beginSpeculation(1, {gate});
+    r.em.setPreSpecDrained(true);
+    r.pushStore(kA, 7, r.em.currentEpoch());
+    r.spin(0, 5);
+    EXPECT_FALSE(r.ssb.empty()); // gated
+    r.spin(6, 400); // flush completes around tick 315
+    EXPECT_TRUE(r.ssb.empty());
+}
+
+TEST(EpochManager, EpochsCommitInOrder)
+{
+    Rig r;
+    r.em.beginSpeculation(1, {});
+    r.em.setPreSpecDrained(true);
+    r.pushDelayed(SsbEntryType::kSps, 0, r.em.currentEpoch());
+    r.em.startChild(2);
+    r.pushDelayed(SsbEntryType::kSps, 0, r.em.currentEpoch());
+    r.em.startChild(3);
+    EXPECT_EQ(r.em.epochCount(), 3u);
+    r.spin(0, 500);
+    // Both closed epochs committed; the live one remains.
+    EXPECT_EQ(r.em.epochCount(), 1u);
+    EXPECT_EQ(r.stats.epochsCommitted, 2u);
+    EXPECT_TRUE(r.em.readyToExit());
+}
+
+TEST(EpochManager, AbortReleasesEverything)
+{
+    Rig r;
+    r.em.beginSpeculation(42, {});
+    r.em.startChild(43);
+    r.pushStore(kA, 1, r.em.currentEpoch());
+    EXPECT_EQ(r.em.oldestCursor(), 42u);
+    r.em.abortAll();
+    r.ssb.clear();
+    EXPECT_FALSE(r.em.speculating());
+    EXPECT_EQ(r.cps.inUse(), 0u);
+}
+
+TEST(EpochManager, FenceMarkDrainsFreely)
+{
+    Rig r;
+    r.em.beginSpeculation(1, {});
+    r.em.setPreSpecDrained(true);
+    r.pushDelayed(SsbEntryType::kFenceMark, 0, r.em.currentEpoch());
+    r.pushStore(kA, 1, r.em.currentEpoch());
+    r.spin(0, 5);
+    EXPECT_TRUE(r.ssb.empty());
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests: the power-of-two histogram used for latency distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/histogram.hh"
+
+using namespace sp;
+
+TEST(Histogram, EmptyIsZeroed)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentileUpperBound(0.95), 0u);
+}
+
+TEST(Histogram, BucketsByPowerOfTwo)
+{
+    Histogram h;
+    h.record(0);   // bucket 0
+    h.record(1);   // [1,2) -> bucket 1
+    h.record(3);   // [2,4) -> bucket 2
+    h.record(4);   // [4,8) -> bucket 3
+    h.record(7);   // [4,8)
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+}
+
+TEST(Histogram, MinMaxMean)
+{
+    Histogram h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentileBoundsCoverSamples)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(static_cast<uint64_t>(i));
+    // p50 of 1..100 is <= 64 (the bucket boundary above 50).
+    EXPECT_GE(h.percentileUpperBound(0.5), 50u);
+    EXPECT_LE(h.percentileUpperBound(0.5), 64u);
+    EXPECT_GE(h.percentileUpperBound(1.0), 100u);
+}
+
+TEST(Histogram, HugeValuesSaturateLastBucket)
+{
+    Histogram h;
+    h.record(~uint64_t(0));
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(5);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(Histogram, PrintShowsSummary)
+{
+    Histogram h;
+    h.record(100);
+    h.record(300);
+    std::ostringstream os;
+    h.print(os, "> ");
+    std::string out = os.str();
+    EXPECT_NE(out.find("samples 2"), std::string::npos);
+    EXPECT_NE(out.find("min 100"), std::string::npos);
+    EXPECT_NE(out.find("max 300"), std::string::npos);
+}

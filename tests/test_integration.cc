@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Integration tests: full-machine runs per workload and variant, checking
+ * the relationships the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+using namespace sp;
+
+namespace
+{
+
+RunConfig
+tinyConfig(WorkloadKind kind, PersistMode mode, bool sp)
+{
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.params.seed = 42;
+    cfg.params.initOps = 400;
+    cfg.params.simOps = 40;
+    cfg.params.mode = mode;
+    cfg.sim.sp.enabled = sp;
+    return cfg;
+}
+
+} // namespace
+
+class LadderTest : public ::testing::TestWithParam<WorkloadKind>
+{
+};
+
+TEST_P(LadderTest, VariantCostLadderHolds)
+{
+    WorkloadKind kind = GetParam();
+    RunResult base = runExperiment(tinyConfig(kind, PersistMode::kNone,
+                                              false));
+    RunResult log = runExperiment(tinyConfig(kind, PersistMode::kLog,
+                                             false));
+    RunResult logp = runExperiment(tinyConfig(kind, PersistMode::kLogP,
+                                              false));
+    RunResult logpsf = runExperiment(tinyConfig(kind, PersistMode::kLogPSf,
+                                                false));
+    RunResult sp = runExperiment(tinyConfig(kind, PersistMode::kLogPSf,
+                                            true));
+
+    // Each persistence addition can only cost cycles.
+    EXPECT_LE(base.stats.cycles, log.stats.cycles);
+    EXPECT_LE(log.stats.cycles, logp.stats.cycles + 50);
+    EXPECT_LT(logp.stats.cycles, logpsf.stats.cycles);
+    // SP recovers most of the fence cost; it can even edge past Log+P
+    // (delayed clwbs drain more smoothly than synchronous retirement),
+    // but must stay in Log+P's neighborhood.
+    EXPECT_LT(sp.stats.cycles, logpsf.stats.cycles);
+    EXPECT_GT(sp.stats.cycles * 11 / 10 + 2000, logp.stats.cycles);
+}
+
+TEST_P(LadderTest, SfencesAddNoInstructionsWorthMentioning)
+{
+    WorkloadKind kind = GetParam();
+    RunResult logp = runExperiment(tinyConfig(kind, PersistMode::kLogP,
+                                              false));
+    RunResult logpsf = runExperiment(tinyConfig(kind, PersistMode::kLogPSf,
+                                                false));
+    // Figure 9: the sfence count is negligible (8 per transaction).
+    double ratio = static_cast<double>(logpsf.stats.instructions) /
+        static_cast<double>(logp.stats.instructions);
+    EXPECT_LT(ratio, 1.02);
+    EXPECT_EQ(logpsf.stats.fences, logpsf.stats.pcommits * 2);
+}
+
+TEST_P(LadderTest, SpeculationPreservesArchitecturalResults)
+{
+    WorkloadKind kind = GetParam();
+    RunResult plain = runExperiment(tinyConfig(kind, PersistMode::kLogPSf,
+                                               false));
+    RunResult sp = runExperiment(tinyConfig(kind, PersistMode::kLogPSf,
+                                            true));
+    EXPECT_EQ(plain.stats.instructions, sp.stats.instructions);
+    EXPECT_EQ(plain.stats.pcommits, sp.stats.pcommits);
+    // And both machines persist the exact same final contents.
+    auto w = makeWorkload(kind, tinyConfig(kind, PersistMode::kLogPSf,
+                                           false).params);
+    EXPECT_EQ(w->contents(plain.durable), w->contents(sp.durable));
+}
+
+TEST_P(LadderTest, CompletedRunLeavesDurableConsistent)
+{
+    WorkloadKind kind = GetParam();
+    RunConfig cfg = tinyConfig(kind, PersistMode::kLogPSf, true);
+    RunResult r = runExperiment(cfg);
+    ASSERT_TRUE(r.completed);
+    auto w = makeWorkload(kind, cfg.params);
+    w->setup();
+    w->runFunctionalToGeneration(r.functionalGeneration);
+    std::string why;
+    EXPECT_TRUE(w->checkImage(r.durable, &why)) << why;
+    EXPECT_EQ(w->contents(r.durable), w->contents(w->image()));
+}
+
+TEST_P(LadderTest, RunsAreBitDeterministic)
+{
+    WorkloadKind kind = GetParam();
+    RunResult a = runExperiment(tinyConfig(kind, PersistMode::kLogPSf,
+                                           true));
+    RunResult b = runExperiment(tinyConfig(kind, PersistMode::kLogPSf,
+                                           true));
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+    EXPECT_EQ(a.stats.epochsStarted, b.stats.epochsStarted);
+}
+
+TEST_P(LadderTest, FourPcommitsPerTransaction)
+{
+    WorkloadKind kind = GetParam();
+    RunConfig cfg = tinyConfig(kind, PersistMode::kLogPSf, false);
+    cfg.params.initOps = 0; // every generation bump is a measured tx
+    RunResult r = runExperiment(cfg);
+    // pcommits = 4 per generation-bumping transaction (resizes add 4
+    // more without bumping the generation, so allow >=).
+    EXPECT_GE(r.stats.pcommits, 4 * r.functionalGeneration);
+    EXPECT_EQ(r.stats.pcommits % 4, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, LadderTest, ::testing::ValuesIn(allWorkloadKinds()),
+    [](const ::testing::TestParamInfo<WorkloadKind> &info) {
+        return workloadKindName(info.param);
+    });
+
+TEST(Integration, SpEngagesOnlyWithFences)
+{
+    RunResult logp =
+        runExperiment(tinyConfig(WorkloadKind::kLinkedList,
+                                 PersistMode::kLogP, true));
+    EXPECT_EQ(logp.stats.epochsStarted, 0u);
+    RunResult logpsf =
+        runExperiment(tinyConfig(WorkloadKind::kLinkedList,
+                                 PersistMode::kLogPSf, true));
+    EXPECT_GT(logpsf.stats.epochsStarted, 0u);
+}
+
+TEST(Integration, SsbSizeLadderMatchesFig13Shape)
+{
+    // Small SSBs must show structural-hazard stalls that large ones
+    // don't (Figure 13's left side).
+    RunConfig small = tinyConfig(WorkloadKind::kStringSwap,
+                                 PersistMode::kLogPSf, true);
+    small.sim.sp.ssbEntries = 32;
+    RunConfig large = small;
+    large.sim.sp.ssbEntries = 256;
+    RunResult rs = runExperiment(small);
+    RunResult rl = runExperiment(large);
+    EXPECT_GT(rs.stats.ssbFullStallCycles, rl.stats.ssbFullStallCycles);
+}
+
+TEST(Integration, CrashBeforeFirstOpIsCleanSlate)
+{
+    RunConfig cfg = tinyConfig(WorkloadKind::kBTree, PersistMode::kLogPSf,
+                               true);
+    RunResult r = runExperiment(cfg, 1);
+    EXPECT_FALSE(r.completed);
+    auto w = makeWorkload(cfg.kind, cfg.params);
+    w->setup();
+    std::string why;
+    EXPECT_TRUE(w->checkImage(r.durable, &why)) << why;
+    // Nothing from the measured phase persisted: the durable generation
+    // is exactly the post-setup one.
+    EXPECT_EQ(Workload::generation(r.durable),
+              Workload::generation(w->image()));
+    EXPECT_EQ(w->contents(r.durable), w->contents(w->image()));
+}
+
+TEST(Integration, EnvOverridesApply)
+{
+    setenv("SP_OPS", "17", 1);
+    setenv("SP_INIT", "23", 1);
+    setenv("SP_SEED", "99", 1);
+    WorkloadParams p = defaultParams(WorkloadKind::kLinkedList);
+    applyEnvOverrides(p);
+    EXPECT_EQ(p.simOps, 17u);
+    EXPECT_EQ(p.initOps, 23u);
+    EXPECT_EQ(p.seed, 99u);
+    unsetenv("SP_OPS");
+    unsetenv("SP_INIT");
+    unsetenv("SP_SEED");
+}

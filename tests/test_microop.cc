@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests: micro-op definitions and predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/microop.hh"
+
+using namespace sp;
+
+TEST(MicroOp, PersistOpPredicate)
+{
+    EXPECT_TRUE(isPersistOp(OpType::kClwb));
+    EXPECT_TRUE(isPersistOp(OpType::kClflushOpt));
+    EXPECT_TRUE(isPersistOp(OpType::kClflush));
+    EXPECT_TRUE(isPersistOp(OpType::kPcommit));
+    EXPECT_FALSE(isPersistOp(OpType::kStore));
+    EXPECT_FALSE(isPersistOp(OpType::kSfence));
+    EXPECT_FALSE(isPersistOp(OpType::kAlu));
+}
+
+TEST(MicroOp, OrderingOpPredicate)
+{
+    EXPECT_TRUE(isOrderingOp(OpType::kSfence));
+    EXPECT_TRUE(isOrderingOp(OpType::kMfence));
+    EXPECT_TRUE(isOrderingOp(OpType::kXchg));
+    EXPECT_FALSE(isOrderingOp(OpType::kPcommit));
+    EXPECT_FALSE(isOrderingOp(OpType::kLoad));
+}
+
+TEST(MicroOp, MemOpPredicate)
+{
+    EXPECT_TRUE(isMemOp(OpType::kLoad));
+    EXPECT_TRUE(isMemOp(OpType::kStore));
+    EXPECT_TRUE(isMemOp(OpType::kClwb));
+    EXPECT_TRUE(isMemOp(OpType::kXchg));
+    EXPECT_FALSE(isMemOp(OpType::kAlu));
+    EXPECT_FALSE(isMemOp(OpType::kSfence));
+    EXPECT_FALSE(isMemOp(OpType::kPcommit));
+}
+
+TEST(MicroOp, ClwbAlignsToBlock)
+{
+    MicroOp op = MicroOp::clwb(0x1234567);
+    EXPECT_EQ(op.addr, blockAlign(0x1234567));
+    EXPECT_EQ(op.size, kBlockBytes);
+}
+
+TEST(MicroOp, StoreCarriesValueAndDep)
+{
+    MicroOp op = MicroOp::store(0x100, 0xabcd, 4, 3);
+    EXPECT_EQ(op.type, OpType::kStore);
+    EXPECT_EQ(op.value, 0xabcdu);
+    EXPECT_EQ(op.size, 4);
+    EXPECT_EQ(op.dep, 3);
+}
+
+TEST(MicroOp, AluRepeatsCountAsInstructions)
+{
+    EXPECT_EQ(MicroOp::alu(17).instructionCount(), 17u);
+    EXPECT_EQ(MicroOp::aluChain(9).instructionCount(), 9u);
+    EXPECT_EQ(MicroOp::load(0, 8).instructionCount(), 1u);
+}
+
+TEST(MicroOp, BlockHelpers)
+{
+    EXPECT_EQ(blockAlign(0x1003F), 0x10000u);
+    EXPECT_EQ(blockAlign(0x10040), 0x10040u);
+    EXPECT_EQ(blockOffset(0x1003F), 0x3Fu);
+}
+
+TEST(MicroOp, NamesAreStable)
+{
+    EXPECT_STREQ(opName(OpType::kPcommit), "pcommit");
+    EXPECT_STREQ(opName(OpType::kSfence), "sfence");
+    EXPECT_STREQ(opName(OpType::kClwb), "clwb");
+}
+
+TEST(MicroOp, ToStringMentionsMnemonic)
+{
+    EXPECT_NE(MicroOp::pcommit().toString().find("pcommit"),
+              std::string::npos);
+    EXPECT_NE(MicroOp::load(0x40, 8, 2).toString().find("dep-2"),
+              std::string::npos);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests: program streams and the rollback window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+using namespace sp;
+
+namespace
+{
+
+std::vector<MicroOp>
+makeOps(unsigned n)
+{
+    std::vector<MicroOp> ops;
+    for (unsigned i = 0; i < n; ++i)
+        ops.push_back(MicroOp::load(0x1000 + i * 64, 8));
+    return ops;
+}
+
+} // namespace
+
+TEST(TraceProgram, DeliversInOrder)
+{
+    TraceProgram prog(makeOps(5));
+    MicroOp op;
+    for (unsigned i = 0; i < 5; ++i) {
+        ASSERT_TRUE(prog.next(op));
+        EXPECT_EQ(op.addr, 0x1000u + i * 64);
+    }
+    EXPECT_FALSE(prog.next(op));
+}
+
+TEST(TraceProgram, RemainingCountsDown)
+{
+    TraceProgram prog(makeOps(3));
+    MicroOp op;
+    EXPECT_EQ(prog.remaining(), 3u);
+    prog.next(op);
+    EXPECT_EQ(prog.remaining(), 2u);
+}
+
+TEST(ReplayableProgram, PassesThrough)
+{
+    TraceProgram inner(makeOps(4));
+    ReplayableProgram prog(inner);
+    MicroOp op;
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(prog.cursor(), i);
+        ASSERT_TRUE(prog.next(op));
+        EXPECT_EQ(op.addr, 0x1000u + i * 64);
+    }
+    EXPECT_FALSE(prog.next(op));
+}
+
+TEST(ReplayableProgram, RewindRedelivers)
+{
+    TraceProgram inner(makeOps(6));
+    ReplayableProgram prog(inner);
+    MicroOp op;
+    for (int i = 0; i < 4; ++i)
+        prog.next(op);
+    auto mark = prog.cursor();
+    EXPECT_EQ(mark, 4u);
+    prog.next(op);
+    prog.next(op);
+    prog.rewind(2);
+    ASSERT_TRUE(prog.next(op));
+    EXPECT_EQ(op.addr, 0x1000u + 2 * 64);
+    // Replays continue through the retained window, then fresh ops.
+    for (unsigned i = 3; i < 6; ++i) {
+        ASSERT_TRUE(prog.next(op));
+        EXPECT_EQ(op.addr, 0x1000u + i * 64);
+    }
+    EXPECT_FALSE(prog.next(op));
+}
+
+TEST(ReplayableProgram, ReleaseShrinksWindow)
+{
+    TraceProgram inner(makeOps(8));
+    ReplayableProgram prog(inner);
+    MicroOp op;
+    for (int i = 0; i < 6; ++i)
+        prog.next(op);
+    EXPECT_EQ(prog.retained(), 6u);
+    prog.release(4);
+    EXPECT_EQ(prog.retained(), 2u);
+    // Rewind within the retained range still works.
+    prog.rewind(4);
+    ASSERT_TRUE(prog.next(op));
+    EXPECT_EQ(op.addr, 0x1000u + 4 * 64);
+}
+
+TEST(ReplayableProgram, ReleaseBelowRewindTargetDies)
+{
+    TraceProgram inner(makeOps(8));
+    ReplayableProgram prog(inner);
+    MicroOp op;
+    for (int i = 0; i < 5; ++i)
+        prog.next(op);
+    prog.release(3);
+    EXPECT_DEATH(prog.rewind(2), "rewind target");
+}
+
+TEST(ReplayableProgram, RewindToCurrentIsNoop)
+{
+    TraceProgram inner(makeOps(3));
+    ReplayableProgram prog(inner);
+    MicroOp op;
+    prog.next(op);
+    prog.rewind(prog.cursor());
+    ASSERT_TRUE(prog.next(op));
+    EXPECT_EQ(op.addr, 0x1000u + 64);
+}
+
+TEST(ReplayableProgram, RewindTwiceSameTarget)
+{
+    TraceProgram inner(makeOps(5));
+    ReplayableProgram prog(inner);
+    MicroOp op;
+    for (int i = 0; i < 4; ++i)
+        prog.next(op);
+    prog.rewind(1);
+    prog.next(op);
+    EXPECT_EQ(op.addr, 0x1000u + 64);
+    prog.rewind(1);
+    prog.next(op);
+    EXPECT_EQ(op.addr, 0x1000u + 64);
+}

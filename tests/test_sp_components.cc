@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests: the SP hardware components -- Bloom filter, SSB, BLT,
+ * checkpoint buffer (paper Section 4.2, Tables 2-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/blt.hh"
+#include "core/bloom_filter.hh"
+#include "core/checkpoint.hh"
+#include "core/ssb.hh"
+#include "sim/rng.hh"
+
+using namespace sp;
+
+// --- Bloom filter ---------------------------------------------------------
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter bloom(512, 2);
+    Rng rng(3);
+    std::vector<Addr> inserted;
+    for (int i = 0; i < 200; ++i) {
+        Addr a = rng.next() & ~Addr(63);
+        bloom.insert(a);
+        inserted.push_back(a);
+    }
+    for (Addr a : inserted)
+        EXPECT_TRUE(bloom.maybeContains(a));
+}
+
+TEST(BloomFilter, BlockGranularity)
+{
+    BloomFilter bloom(512, 2);
+    bloom.insert(0x10007); // anywhere in the block
+    EXPECT_TRUE(bloom.maybeContains(0x10038)); // same block
+}
+
+TEST(BloomFilter, EmptyFilterRejectsEverything)
+{
+    BloomFilter bloom(512, 2);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(bloom.maybeContains(rng.next() & ~Addr(63)));
+}
+
+TEST(BloomFilter, ResetClears)
+{
+    BloomFilter bloom(512, 2);
+    bloom.insert(0x4000);
+    EXPECT_GT(bloom.popcount(), 0u);
+    bloom.reset();
+    EXPECT_EQ(bloom.popcount(), 0u);
+    EXPECT_FALSE(bloom.maybeContains(0x4000));
+}
+
+TEST(BloomFilter, FalsePositiveRateReasonable)
+{
+    // 4096 bits, 2 hashes, 64 inserts: analytic FP rate ~ (1-e^-.03)^2,
+    // well under 1%. Allow generous slack.
+    BloomFilter bloom(512, 2);
+    Rng rng(7);
+    for (int i = 0; i < 64; ++i)
+        bloom.insert(rng.next() & ~Addr(63));
+    int fp = 0;
+    const int probes = 10000;
+    for (int i = 0; i < probes; ++i)
+        fp += bloom.maybeContains((rng.next() | (1ULL << 62)) & ~Addr(63));
+    EXPECT_LT(fp, probes / 50);
+}
+
+TEST(BloomFilter, SizeBits)
+{
+    EXPECT_EQ(BloomFilter(512, 2).sizeBits(), 4096u);
+    EXPECT_EQ(BloomFilter(64, 1).sizeBits(), 512u);
+}
+
+// --- SSB --------------------------------------------------------------------
+
+namespace
+{
+
+SsbEntry
+storeEntry(Addr addr, uint8_t size, uint64_t epoch = 1)
+{
+    SsbEntry e;
+    e.type = SsbEntryType::kStore;
+    e.addr = addr;
+    e.size = size;
+    e.epoch = epoch;
+    return e;
+}
+
+} // namespace
+
+TEST(Ssb, FifoOrder)
+{
+    SpeculativeStoreBuffer ssb(8);
+    for (int i = 0; i < 5; ++i)
+        ssb.push(storeEntry(0x1000 + i * 8, 8));
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(ssb.front().addr, 0x1000u + i * 8);
+        ssb.pop();
+    }
+    EXPECT_TRUE(ssb.empty());
+}
+
+TEST(Ssb, CapacityEnforced)
+{
+    SpeculativeStoreBuffer ssb(2);
+    ssb.push(storeEntry(0, 8));
+    EXPECT_FALSE(ssb.full());
+    ssb.push(storeEntry(8, 8));
+    EXPECT_TRUE(ssb.full());
+    EXPECT_DEATH(ssb.push(storeEntry(16, 8)), "overflow");
+}
+
+TEST(Ssb, SearchFindsOverlap)
+{
+    SpeculativeStoreBuffer ssb(16);
+    ssb.push(storeEntry(0x1000, 8));
+    EXPECT_TRUE(ssb.searchForLoad(0x1000, 8));
+    EXPECT_TRUE(ssb.searchForLoad(0x1004, 2)); // partial overlap
+    EXPECT_TRUE(ssb.searchForLoad(0x0FFC, 8)); // straddles the start
+    EXPECT_FALSE(ssb.searchForLoad(0x1008, 8));
+    EXPECT_FALSE(ssb.searchForLoad(0x0FF0, 8));
+}
+
+TEST(Ssb, SearchIgnoresNonStores)
+{
+    SpeculativeStoreBuffer ssb(16);
+    SsbEntry clwb;
+    clwb.type = SsbEntryType::kClwb;
+    clwb.addr = 0x1000;
+    clwb.size = 64;
+    ssb.push(clwb);
+    EXPECT_FALSE(ssb.searchForLoad(0x1000, 8));
+}
+
+TEST(Ssb, HasEntriesForEpoch)
+{
+    SpeculativeStoreBuffer ssb(16);
+    ssb.push(storeEntry(0, 8, 1));
+    ssb.push(storeEntry(8, 8, 2));
+    EXPECT_TRUE(ssb.hasEntriesFor(1));
+    EXPECT_TRUE(ssb.hasEntriesFor(2));
+    ssb.pop();
+    EXPECT_FALSE(ssb.hasEntriesFor(1));
+    EXPECT_TRUE(ssb.hasEntriesFor(2));
+}
+
+TEST(Ssb, ClearEmpties)
+{
+    SpeculativeStoreBuffer ssb(16);
+    ssb.push(storeEntry(0, 8));
+    ssb.clear();
+    EXPECT_TRUE(ssb.empty());
+}
+
+/** Table 3: SSB size -> access latency. */
+class SsbLatency : public ::testing::TestWithParam<std::pair<unsigned,
+                                                             unsigned>>
+{
+};
+
+TEST_P(SsbLatency, MatchesTable3)
+{
+    auto [entries, latency] = GetParam();
+    EXPECT_EQ(ssbLatencyFor(entries), latency);
+    EXPECT_EQ(SpeculativeStoreBuffer(entries).latency(), latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, SsbLatency,
+    ::testing::Values(std::make_pair(32u, 2u), std::make_pair(64u, 3u),
+                      std::make_pair(128u, 4u), std::make_pair(256u, 5u),
+                      std::make_pair(512u, 7u),
+                      std::make_pair(1024u, 10u)));
+
+// --- BLT --------------------------------------------------------------------
+
+TEST(Blt, RecordAndProbeBlockAligned)
+{
+    BlockLookupTable blt;
+    blt.record(0x1234);
+    EXPECT_TRUE(blt.probe(0x1200)); // same block
+    EXPECT_TRUE(blt.probe(0x123F));
+    EXPECT_FALSE(blt.probe(0x1240));
+}
+
+TEST(Blt, ClearForgets)
+{
+    BlockLookupTable blt;
+    blt.record(0x1000);
+    blt.clear();
+    EXPECT_FALSE(blt.probe(0x1000));
+    EXPECT_EQ(blt.size(), 0u);
+}
+
+TEST(Blt, SizeCountsDistinctBlocks)
+{
+    BlockLookupTable blt;
+    blt.record(0x1000);
+    blt.record(0x1010); // same block
+    blt.record(0x2000);
+    EXPECT_EQ(blt.size(), 2u);
+}
+
+// --- Checkpoint buffer ------------------------------------------------------
+
+TEST(Checkpoints, AllocateUntilFull)
+{
+    CheckpointBuffer cps(4);
+    EXPECT_TRUE(cps.available());
+    unsigned a = cps.allocate(10);
+    unsigned b = cps.allocate(20);
+    unsigned c = cps.allocate(30);
+    unsigned d = cps.allocate(40);
+    EXPECT_NE(a, CheckpointBuffer::kInvalid);
+    EXPECT_FALSE(cps.available());
+    EXPECT_EQ(cps.allocate(50), CheckpointBuffer::kInvalid);
+    EXPECT_EQ(cps.cursor(a), 10u);
+    EXPECT_EQ(cps.cursor(d), 40u);
+    (void)b;
+    (void)c;
+}
+
+TEST(Checkpoints, FreeMakesRoom)
+{
+    CheckpointBuffer cps(2);
+    unsigned a = cps.allocate(1);
+    cps.allocate(2);
+    cps.free(a);
+    EXPECT_TRUE(cps.available());
+    unsigned c = cps.allocate(3);
+    EXPECT_NE(c, CheckpointBuffer::kInvalid);
+    EXPECT_EQ(cps.cursor(c), 3u);
+}
+
+TEST(Checkpoints, DoubleFreeDies)
+{
+    CheckpointBuffer cps(2);
+    unsigned a = cps.allocate(1);
+    cps.free(a);
+    EXPECT_DEATH(cps.free(a), "invalid checkpoint");
+}
+
+TEST(Checkpoints, ResetFreesEverything)
+{
+    CheckpointBuffer cps(3);
+    cps.allocate(1);
+    cps.allocate(2);
+    cps.reset();
+    EXPECT_EQ(cps.inUse(), 0u);
+    EXPECT_TRUE(cps.available());
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests: statistics derivations and the harness table/geomean
+ * helpers used by every bench.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "harness/table.hh"
+#include "sim/stats.hh"
+
+using namespace sp;
+
+TEST(Stats, OverheadVs)
+{
+    Stats base, run;
+    base.cycles = 1000;
+    run.cycles = 1250;
+    EXPECT_DOUBLE_EQ(run.overheadVs(base), 0.25);
+    EXPECT_DOUBLE_EQ(base.overheadVs(base), 0.0);
+}
+
+TEST(Stats, InstructionRatio)
+{
+    Stats base, run;
+    base.instructions = 200;
+    run.instructions = 300;
+    EXPECT_DOUBLE_EQ(run.instructionRatio(base), 1.5);
+}
+
+TEST(Stats, FetchStallRatio)
+{
+    Stats base, run;
+    base.cycles = 1000;
+    run.fetchQueueStallCycles = 400;
+    EXPECT_DOUBLE_EQ(run.fetchStallRatio(base), 0.4);
+}
+
+TEST(Stats, StoresPerPcommit)
+{
+    Stats s;
+    s.storesDuringPcommit = 60;
+    s.pcommits = 4;
+    EXPECT_DOUBLE_EQ(s.storesPerPcommit(), 15.0);
+    Stats zero;
+    EXPECT_DOUBLE_EQ(zero.storesPerPcommit(), 0.0);
+}
+
+TEST(Stats, BloomFalsePositiveRate)
+{
+    Stats s;
+    s.bloomLookups = 200;
+    s.bloomFalsePositives = 5;
+    EXPECT_DOUBLE_EQ(s.bloomFalsePositiveRate(), 0.025);
+}
+
+TEST(Stats, ZeroBaseRatiosAreZero)
+{
+    Stats base, run;
+    run.cycles = 10;
+    run.instructions = 10;
+    EXPECT_DOUBLE_EQ(run.overheadVs(base), 0.0);
+    EXPECT_DOUBLE_EQ(run.instructionRatio(base), 0.0);
+    EXPECT_DOUBLE_EQ(run.fetchStallRatio(base), 0.0);
+}
+
+TEST(Stats, PrintListsEveryCounterOnce)
+{
+    Stats s;
+    s.cycles = 123456;
+    std::ostringstream os;
+    s.print(os, "  ");
+    std::string out = os.str();
+    EXPECT_NE(out.find("cycles"), std::string::npos);
+    EXPECT_NE(out.find("123456"), std::string::npos);
+    EXPECT_NE(out.find("bloomFalsePositives"), std::string::npos);
+    EXPECT_NE(out.find("spsTriples"), std::string::npos);
+}
+
+TEST(Geomean, MatchesPaperDefinition)
+{
+    // Geometrically average the slowdown ratios and subtract one.
+    // For equal overheads the geomean is that overhead.
+    EXPECT_NEAR(geomeanOverhead({0.25, 0.25, 0.25}), 0.25, 1e-12);
+    // For {1.2x, 1.8x}: sqrt(2.16)-1.
+    EXPECT_NEAR(geomeanOverhead({0.2, 0.8}), std::sqrt(1.2 * 1.8) - 1.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(geomeanOverhead({}), 0.0);
+}
+
+TEST(TableFormat, PctAndNum)
+{
+    EXPECT_EQ(Table::pct(0.253), "+25.3%");
+    EXPECT_EQ(Table::pct(-0.02), "-2.0%");
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+TEST(TableFormat, ColumnsAlign)
+{
+    Table t({"a", "bbbb"});
+    t.addRow({"xxxxxx", "1"});
+    t.addRow({"y", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_NE(out.find("xxxxxx"), std::string::npos);
+}
+
+TEST(TableFormat, ShortRowsPadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(ConfigBanner, MentionsTable2Values)
+{
+    SimConfig cfg;
+    std::ostringstream os;
+    printConfigBanner(os, cfg);
+    std::string out = os.str();
+    EXPECT_NE(out.find("ROB: 128"), std::string::npos);
+    EXPECT_NE(out.find("32KB"), std::string::npos);
+    EXPECT_NE(out.find("2MB"), std::string::npos);
+    EXPECT_NE(out.find("105 cycle read"), std::string::npos);
+}
