@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_injection.dir/failure_injection.cpp.o"
+  "CMakeFiles/bench_failure_injection.dir/failure_injection.cpp.o.d"
+  "bench_failure_injection"
+  "bench_failure_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

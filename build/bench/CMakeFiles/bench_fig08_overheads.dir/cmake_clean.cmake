@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_overheads.dir/fig08_overheads.cpp.o"
+  "CMakeFiles/bench_fig08_overheads.dir/fig08_overheads.cpp.o.d"
+  "bench_fig08_overheads"
+  "bench_fig08_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_instructions.dir/fig09_instructions.cpp.o"
+  "CMakeFiles/bench_fig09_instructions.dir/fig09_instructions.cpp.o.d"
+  "bench_fig09_instructions"
+  "bench_fig09_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_inflight_pcommits.dir/fig11_inflight_pcommits.cpp.o"
+  "CMakeFiles/bench_fig11_inflight_pcommits.dir/fig11_inflight_pcommits.cpp.o.d"
+  "bench_fig11_inflight_pcommits"
+  "bench_fig11_inflight_pcommits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_inflight_pcommits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_stores_per_pcommit.dir/fig12_stores_per_pcommit.cpp.o"
+  "CMakeFiles/bench_fig12_stores_per_pcommit.dir/fig12_stores_per_pcommit.cpp.o.d"
+  "bench_fig12_stores_per_pcommit"
+  "bench_fig12_stores_per_pcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_stores_per_pcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_bloom_fp.dir/fig14_bloom_fp.cpp.o"
+  "CMakeFiles/bench_fig14_bloom_fp.dir/fig14_bloom_fp.cpp.o.d"
+  "bench_fig14_bloom_fp"
+  "bench_fig14_bloom_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_bloom_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

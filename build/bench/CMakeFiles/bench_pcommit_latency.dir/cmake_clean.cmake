@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcommit_latency.dir/pcommit_latency.cpp.o"
+  "CMakeFiles/bench_pcommit_latency.dir/pcommit_latency.cpp.o.d"
+  "bench_pcommit_latency"
+  "bench_pcommit_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcommit_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

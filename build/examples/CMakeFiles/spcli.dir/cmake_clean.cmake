@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcli.dir/spcli.cpp.o"
+  "CMakeFiles/spcli.dir/spcli.cpp.o.d"
+  "spcli"
+  "spcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

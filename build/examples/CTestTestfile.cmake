@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "LL")
+set_tests_properties(example_quickstart PROPERTIES  ENVIRONMENT "SP_OPS=40;SP_INIT=200" LABELS "examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_crash_recovery "/root/repo/build/examples/crash_recovery" "3")
+set_tests_properties(example_crash_recovery PROPERTIES  LABELS "examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kvstore "/root/repo/build/examples/kvstore")
+set_tests_properties(example_kvstore PROPERTIES  LABELS "examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline_trace "/root/repo/build/examples/pipeline_trace")
+set_tests_properties(example_pipeline_trace PROPERTIES  LABELS "examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_design_space "/root/repo/build/examples/design_space" "LL")
+set_tests_properties(example_design_space PROPERTIES  ENVIRONMENT "SP_OPS=30;SP_INIT=150" LABELS "examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spcli "/root/repo/build/examples/spcli" "--workload" "BT" "--sp" "--ops" "20" "--init" "100")
+set_tests_properties(example_spcli PROPERTIES  LABELS "examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spcli_crash "/root/repo/build/examples/spcli" "--workload" "LL" "--sp" "--ops" "30" "--init" "150" "--crash-at" "40000")
+set_tests_properties(example_spcli_crash PROPERTIES  LABELS "examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bloom_filter.cc" "src/CMakeFiles/specpersist.dir/core/bloom_filter.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/core/bloom_filter.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/specpersist.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/epoch_manager.cc" "src/CMakeFiles/specpersist.dir/core/epoch_manager.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/core/epoch_manager.cc.o.d"
+  "/root/repo/src/core/ssb.cc" "src/CMakeFiles/specpersist.dir/core/ssb.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/core/ssb.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/specpersist.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/specpersist.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/specpersist.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/specpersist.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/harness/table.cc.o.d"
+  "/root/repo/src/isa/microop.cc" "src/CMakeFiles/specpersist.dir/isa/microop.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/isa/microop.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/specpersist.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/specpersist.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/cache_hierarchy.cc" "src/CMakeFiles/specpersist.dir/mem/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/mem/cache_hierarchy.cc.o.d"
+  "/root/repo/src/mem/mem_ctrl.cc" "src/CMakeFiles/specpersist.dir/mem/mem_ctrl.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/mem/mem_ctrl.cc.o.d"
+  "/root/repo/src/mem/mem_image.cc" "src/CMakeFiles/specpersist.dir/mem/mem_image.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/mem/mem_image.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/specpersist.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/pmem/allocator.cc" "src/CMakeFiles/specpersist.dir/pmem/allocator.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/pmem/allocator.cc.o.d"
+  "/root/repo/src/pmem/op_emitter.cc" "src/CMakeFiles/specpersist.dir/pmem/op_emitter.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/pmem/op_emitter.cc.o.d"
+  "/root/repo/src/pmem/recovery.cc" "src/CMakeFiles/specpersist.dir/pmem/recovery.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/pmem/recovery.cc.o.d"
+  "/root/repo/src/pmem/tx.cc" "src/CMakeFiles/specpersist.dir/pmem/tx.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/pmem/tx.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/specpersist.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/histogram.cc" "src/CMakeFiles/specpersist.dir/sim/histogram.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/sim/histogram.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/specpersist.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/specpersist.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/specpersist.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workloads/avl_tree.cc" "src/CMakeFiles/specpersist.dir/workloads/avl_tree.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/avl_tree.cc.o.d"
+  "/root/repo/src/workloads/avl_tree_incremental.cc" "src/CMakeFiles/specpersist.dir/workloads/avl_tree_incremental.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/avl_tree_incremental.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/CMakeFiles/specpersist.dir/workloads/btree.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/btree.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/CMakeFiles/specpersist.dir/workloads/factory.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/factory.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/specpersist.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/hash_map.cc" "src/CMakeFiles/specpersist.dir/workloads/hash_map.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/hash_map.cc.o.d"
+  "/root/repo/src/workloads/linked_list.cc" "src/CMakeFiles/specpersist.dir/workloads/linked_list.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/linked_list.cc.o.d"
+  "/root/repo/src/workloads/rb_tree.cc" "src/CMakeFiles/specpersist.dir/workloads/rb_tree.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/rb_tree.cc.o.d"
+  "/root/repo/src/workloads/string_swap.cc" "src/CMakeFiles/specpersist.dir/workloads/string_swap.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/string_swap.cc.o.d"
+  "/root/repo/src/workloads/tree_workload.cc" "src/CMakeFiles/specpersist.dir/workloads/tree_workload.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/tree_workload.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/specpersist.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/specpersist.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

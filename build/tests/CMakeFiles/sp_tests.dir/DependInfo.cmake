@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cc" "tests/CMakeFiles/sp_tests.dir/test_allocator.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_allocator.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/sp_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_hierarchy.cc" "tests/CMakeFiles/sp_tests.dir/test_cache_hierarchy.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_cache_hierarchy.cc.o.d"
+  "/root/repo/tests/test_core_pipeline.cc" "tests/CMakeFiles/sp_tests.dir/test_core_pipeline.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_core_pipeline.cc.o.d"
+  "/root/repo/tests/test_crash_recovery.cc" "tests/CMakeFiles/sp_tests.dir/test_crash_recovery.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_crash_recovery.cc.o.d"
+  "/root/repo/tests/test_epoch_manager.cc" "tests/CMakeFiles/sp_tests.dir/test_epoch_manager.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_epoch_manager.cc.o.d"
+  "/root/repo/tests/test_equivalence.cc" "tests/CMakeFiles/sp_tests.dir/test_equivalence.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_equivalence.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/sp_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_incremental_logging.cc" "tests/CMakeFiles/sp_tests.dir/test_incremental_logging.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_incremental_logging.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/sp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mem_ctrl.cc" "tests/CMakeFiles/sp_tests.dir/test_mem_ctrl.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_mem_ctrl.cc.o.d"
+  "/root/repo/tests/test_mem_image.cc" "tests/CMakeFiles/sp_tests.dir/test_mem_image.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_mem_image.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/sp_tests.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_mem_system.cc.o.d"
+  "/root/repo/tests/test_microop.cc" "tests/CMakeFiles/sp_tests.dir/test_microop.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_microop.cc.o.d"
+  "/root/repo/tests/test_op_emitter.cc" "tests/CMakeFiles/sp_tests.dir/test_op_emitter.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_op_emitter.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/sp_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/sp_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runner_report.cc" "tests/CMakeFiles/sp_tests.dir/test_runner_report.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_runner_report.cc.o.d"
+  "/root/repo/tests/test_sp_components.cc" "tests/CMakeFiles/sp_tests.dir/test_sp_components.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_sp_components.cc.o.d"
+  "/root/repo/tests/test_spec_persistence.cc" "tests/CMakeFiles/sp_tests.dir/test_spec_persistence.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_spec_persistence.cc.o.d"
+  "/root/repo/tests/test_stats_harness.cc" "tests/CMakeFiles/sp_tests.dir/test_stats_harness.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_stats_harness.cc.o.d"
+  "/root/repo/tests/test_trace_multimc.cc" "tests/CMakeFiles/sp_tests.dir/test_trace_multimc.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_trace_multimc.cc.o.d"
+  "/root/repo/tests/test_tx_recovery.cc" "tests/CMakeFiles/sp_tests.dir/test_tx_recovery.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_tx_recovery.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/sp_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specpersist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
