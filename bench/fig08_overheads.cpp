@@ -8,12 +8,17 @@
  * paper reports. Expected shape (paper): Log ~25%, Log+P ~33%, Log+P+Sf
  * ~60%, SP256 ~38% geomean; fences cost ~20.3% over Log+P and SP cuts
  * that to ~3.6%.
+ *
+ * The kind x variant grid runs in parallel on the SweepEngine; results
+ * are read back in submission order, so the table is identical to the
+ * old serial loop's.
  */
 
 #include <iostream>
 
 #include "harness/runner.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace sp;
@@ -26,29 +31,43 @@ main()
                                      PersistMode::kNone, false);
     printConfigBanner(std::cout, banner.sim);
 
+    struct Variant
+    {
+        PersistMode mode;
+        bool sp;
+    };
+    const std::vector<Variant> variants = {
+        {PersistMode::kNone, false},   {PersistMode::kLog, false},
+        {PersistMode::kLogP, false},   {PersistMode::kLogPSf, false},
+        {PersistMode::kLogPSf, true},
+    };
+
+    std::vector<RunConfig> grid;
+    for (WorkloadKind kind : allWorkloadKinds())
+        for (const Variant &v : variants)
+            grid.push_back(makeRunConfig(kind, v.mode, v.sp));
+    std::vector<SweepRunResult> results = SweepEngine().run(grid);
+
     Table table({"bench", "base cycles", "Log", "Log+P", "Log+P+Sf",
                  "SP256"});
     std::vector<double> log_oh, logp_oh, logpsf_oh, sp_oh;
 
+    size_t row = 0;
     for (WorkloadKind kind : allWorkloadKinds()) {
-        RunResult base =
-            runExperiment(makeRunConfig(kind, PersistMode::kNone, false));
-        RunResult log =
-            runExperiment(makeRunConfig(kind, PersistMode::kLog, false));
-        RunResult logp =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogP, false));
-        RunResult logpsf =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, false));
-        RunResult sp =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, true));
+        const Stats &base = results[row * 5 + 0].run.stats;
+        const Stats &log = results[row * 5 + 1].run.stats;
+        const Stats &logp = results[row * 5 + 2].run.stats;
+        const Stats &logpsf = results[row * 5 + 3].run.stats;
+        const Stats &sp = results[row * 5 + 4].run.stats;
+        ++row;
 
-        log_oh.push_back(log.stats.overheadVs(base.stats));
-        logp_oh.push_back(logp.stats.overheadVs(base.stats));
-        logpsf_oh.push_back(logpsf.stats.overheadVs(base.stats));
-        sp_oh.push_back(sp.stats.overheadVs(base.stats));
+        log_oh.push_back(log.overheadVs(base));
+        logp_oh.push_back(logp.overheadVs(base));
+        logpsf_oh.push_back(logpsf.overheadVs(base));
+        sp_oh.push_back(sp.overheadVs(base));
 
         table.addRow({workloadKindName(kind),
-                      std::to_string(base.stats.cycles),
+                      std::to_string(base.cycles),
                       Table::pct(log_oh.back()),
                       Table::pct(logp_oh.back()),
                       Table::pct(logpsf_oh.back()),

@@ -6,12 +6,15 @@
  * instruction-count increase; PMEM instructions add only slightly; the
  * sfence count is negligible -- so the slowdown from sfences cannot be an
  * instruction-count effect (it is pipeline stalls, Figure 10).
+ *
+ * The kind x variant grid runs in parallel on the SweepEngine.
  */
 
 #include <iostream>
 
 #include "harness/runner.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace sp;
@@ -21,22 +24,29 @@ main()
 {
     std::cout << "== Figure 9: committed instructions / baseline ==\n\n";
 
+    const std::vector<PersistMode> modes = {
+        PersistMode::kNone, PersistMode::kLog, PersistMode::kLogP,
+        PersistMode::kLogPSf};
+
+    std::vector<RunConfig> grid;
+    for (WorkloadKind kind : allWorkloadKinds())
+        for (PersistMode mode : modes)
+            grid.push_back(makeRunConfig(kind, mode, false));
+    std::vector<SweepRunResult> results = SweepEngine().run(grid);
+
     Table table({"bench", "base instr", "Log", "Log+P", "Log+P+Sf"});
+    size_t row = 0;
     for (WorkloadKind kind : allWorkloadKinds()) {
-        RunResult base =
-            runExperiment(makeRunConfig(kind, PersistMode::kNone, false));
-        RunResult log =
-            runExperiment(makeRunConfig(kind, PersistMode::kLog, false));
-        RunResult logp =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogP, false));
-        RunResult logpsf =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, false));
+        const Stats &base = results[row * 4 + 0].run.stats;
+        const Stats &log = results[row * 4 + 1].run.stats;
+        const Stats &logp = results[row * 4 + 2].run.stats;
+        const Stats &logpsf = results[row * 4 + 3].run.stats;
+        ++row;
         table.addRow({workloadKindName(kind),
-                      std::to_string(base.stats.instructions),
-                      Table::num(log.stats.instructionRatio(base.stats), 3),
-                      Table::num(logp.stats.instructionRatio(base.stats), 3),
-                      Table::num(logpsf.stats.instructionRatio(base.stats),
-                                 3)});
+                      std::to_string(base.instructions),
+                      Table::num(log.instructionRatio(base), 3),
+                      Table::num(logp.instructionRatio(base), 3),
+                      Table::num(logpsf.instructionRatio(base), 3)});
     }
     table.print(std::cout);
     maybeWriteCsv("fig09_instructions", table);

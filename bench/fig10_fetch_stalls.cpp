@@ -7,12 +7,15 @@
  * Log+P's -- the sfence overhead is pipeline stalls, not instructions --
  * and SP eliminates nearly all of the difference, landing only slightly
  * above Log+P.
+ *
+ * The kind x variant grid runs in parallel on the SweepEngine.
  */
 
 #include <iostream>
 
 #include "harness/runner.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace sp;
@@ -23,22 +26,37 @@ main()
     std::cout << "== Figure 10: fetch-queue stall cycles / baseline cycles "
                  "==\n\n";
 
+    struct Variant
+    {
+        PersistMode mode;
+        bool sp;
+    };
+    const std::vector<Variant> variants = {
+        {PersistMode::kNone, false},
+        {PersistMode::kLogP, false},
+        {PersistMode::kLogPSf, false},
+        {PersistMode::kLogPSf, true},
+    };
+
+    std::vector<RunConfig> grid;
+    for (WorkloadKind kind : allWorkloadKinds())
+        for (const Variant &v : variants)
+            grid.push_back(makeRunConfig(kind, v.mode, v.sp));
+    std::vector<SweepRunResult> results = SweepEngine().run(grid);
+
     Table table({"bench", "base cycles", "Log+P", "Log+P+Sf", "SP256"});
+    size_t row = 0;
     for (WorkloadKind kind : allWorkloadKinds()) {
-        RunResult base =
-            runExperiment(makeRunConfig(kind, PersistMode::kNone, false));
-        RunResult logp =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogP, false));
-        RunResult logpsf =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, false));
-        RunResult sp =
-            runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, true));
+        const Stats &base = results[row * 4 + 0].run.stats;
+        const Stats &logp = results[row * 4 + 1].run.stats;
+        const Stats &logpsf = results[row * 4 + 2].run.stats;
+        const Stats &sp = results[row * 4 + 3].run.stats;
+        ++row;
         table.addRow({workloadKindName(kind),
-                      std::to_string(base.stats.cycles),
-                      Table::num(logp.stats.fetchStallRatio(base.stats), 3),
-                      Table::num(logpsf.stats.fetchStallRatio(base.stats),
-                                 3),
-                      Table::num(sp.stats.fetchStallRatio(base.stats), 3)});
+                      std::to_string(base.cycles),
+                      Table::num(logp.fetchStallRatio(base), 3),
+                      Table::num(logpsf.fetchStallRatio(base), 3),
+                      Table::num(sp.fetchStallRatio(base), 3)});
     }
     table.print(std::cout);
     maybeWriteCsv("fig10_fetch_stalls", table);

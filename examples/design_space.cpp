@@ -5,6 +5,9 @@
  * the workflow an architect adopting this library would use to size the
  * structures for a new memory technology.
  *
+ * All three knob sweeps plus the two reference runs are submitted to the
+ * SweepEngine as one batch and read back in submission order.
+ *
  * Usage: design_space [LL|HM|GH|SS|AT|BT|RT]
  */
 
@@ -12,6 +15,7 @@
 #include <iostream>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace sp;
@@ -29,24 +33,46 @@ main(int argc, char **argv)
     std::cout << "design-space sweep for " << workloadKindName(kind)
               << "\n\n";
 
-    RunResult base =
-        runExperiment(makeRunConfig(kind, PersistMode::kNone, false));
-    RunResult nospec =
-        runExperiment(makeRunConfig(kind, PersistMode::kLogPSf, false));
-    std::cout << "no-SP overhead: "
-              << Table::pct(nospec.stats.overheadVs(base.stats)) << "\n\n";
+    const std::vector<unsigned> ssbSizes = {32, 64, 128, 256, 512, 1024};
+    const std::vector<unsigned> checkpointCounts = {1, 2, 4, 8};
+    const std::vector<unsigned> bankCounts = {1, 4, 8, 16, 32};
+
+    // One flat grid: [0] baseline, [1] no-SP, then the three knob sweeps.
+    std::vector<RunConfig> grid;
+    grid.push_back(makeRunConfig(kind, PersistMode::kNone, false));
+    grid.push_back(makeRunConfig(kind, PersistMode::kLogPSf, false));
+    for (unsigned entries : ssbSizes)
+        grid.push_back(makeRunConfig(kind, PersistMode::kLogPSf, true,
+                                     entries));
+    for (unsigned cps : checkpointCounts) {
+        RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf, true);
+        cfg.sim.sp.checkpoints = cps;
+        grid.push_back(cfg);
+    }
+    for (unsigned banks : bankCounts) {
+        RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf, true);
+        cfg.sim.mem.nvmmBanks = banks;
+        grid.push_back(cfg);
+    }
+
+    std::vector<SweepRunResult> results = SweepEngine().run(grid);
+    const Stats &base = results[0].run.stats;
+    const Stats &nospec = results[1].run.stats;
+    size_t next = 2;
+
+    std::cout << "no-SP overhead: " << Table::pct(nospec.overheadVs(base))
+              << "\n\n";
 
     {
         Table table({"SSB entries", "latency", "overhead", "max occupancy",
                      "SSB-full stalls"});
-        for (unsigned entries : {32u, 64u, 128u, 256u, 512u, 1024u}) {
-            RunResult r = runExperiment(
-                makeRunConfig(kind, PersistMode::kLogPSf, true, entries));
+        for (unsigned entries : ssbSizes) {
+            const Stats &r = results[next++].run.stats;
             table.addRow({std::to_string(entries),
                           std::to_string(ssbLatencyFor(entries)) + " cyc",
-                          Table::pct(r.stats.overheadVs(base.stats)),
-                          std::to_string(r.stats.ssbMaxOccupancy),
-                          std::to_string(r.stats.ssbFullStallCycles)});
+                          Table::pct(r.overheadVs(base)),
+                          std::to_string(r.ssbMaxOccupancy),
+                          std::to_string(r.ssbFullStallCycles)});
         }
         table.print(std::cout);
         std::cout << "\n";
@@ -55,14 +81,12 @@ main(int argc, char **argv)
     {
         Table table({"checkpoints", "overhead", "checkpoint stalls",
                      "epochs"});
-        for (unsigned cps : {1u, 2u, 4u, 8u}) {
-            RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf, true);
-            cfg.sim.sp.checkpoints = cps;
-            RunResult r = runExperiment(cfg);
+        for (unsigned cps : checkpointCounts) {
+            const Stats &r = results[next++].run.stats;
             table.addRow({std::to_string(cps),
-                          Table::pct(r.stats.overheadVs(base.stats)),
-                          std::to_string(r.stats.checkpointStallCycles),
-                          std::to_string(r.stats.epochsStarted)});
+                          Table::pct(r.overheadVs(base)),
+                          std::to_string(r.checkpointStallCycles),
+                          std::to_string(r.epochsStarted)});
         }
         table.print(std::cout);
         std::cout << "\n";
@@ -70,13 +94,11 @@ main(int argc, char **argv)
 
     {
         Table table({"NVMM banks", "overhead", "max in-flight pcommits"});
-        for (unsigned banks : {1u, 4u, 8u, 16u, 32u}) {
-            RunConfig cfg = makeRunConfig(kind, PersistMode::kLogPSf, true);
-            cfg.sim.mem.nvmmBanks = banks;
-            RunResult r = runExperiment(cfg);
+        for (unsigned banks : bankCounts) {
+            const Stats &r = results[next++].run.stats;
             table.addRow({std::to_string(banks),
-                          Table::pct(r.stats.overheadVs(base.stats)),
-                          std::to_string(r.stats.maxInflightPcommits)});
+                          Table::pct(r.overheadVs(base)),
+                          std::to_string(r.maxInflightPcommits)});
         }
         table.print(std::cout);
     }

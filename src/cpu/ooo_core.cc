@@ -694,7 +694,9 @@ OooCore::drainStoreBuffer()
     }
     unsigned drained = 0;
     while (drained < 2 && !storeBuffer_.empty()) {
-        const StoreBufEntry &entry = storeBuffer_.front();
+        // Copy, not reference: pop_front() below frees the front node,
+        // and entry.addr is still needed on the miss path.
+        const StoreBufEntry entry = storeBuffer_.front();
         Tick done =
             caches_.writeAccess(entry.addr, entry.value, entry.size, now_);
         storeBuffer_.pop_front();

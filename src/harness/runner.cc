@@ -1,9 +1,9 @@
 #include "harness/runner.hh"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdlib>
 #include <vector>
+
+#include "harness/sweep.hh"
 
 #include "cpu/ooo_core.hh"
 #include "mem/cache_hierarchy.hh"
@@ -80,26 +80,19 @@ SeedSweep
 runSeedSweep(RunConfig cfg, unsigned runs, uint64_t firstSeed)
 {
     SP_ASSERT(runs > 0, "seed sweep needs at least one run");
-    SeedSweep out;
-    out.runs = runs;
-    out.minCycles = ~uint64_t(0);
-    std::vector<double> cycles;
-    cycles.reserve(runs);
+    std::vector<SweepJob> jobs(runs);
     for (unsigned i = 0; i < runs; ++i) {
         cfg.params.seed = firstSeed + i;
-        RunResult r = runExperiment(cfg);
-        cycles.push_back(static_cast<double>(r.stats.cycles));
-        out.minCycles = std::min(out.minCycles, r.stats.cycles);
-        out.maxCycles = std::max(out.maxCycles, r.stats.cycles);
+        jobs[i].cfg = cfg;
     }
-    double sum = 0;
-    for (double c : cycles)
-        sum += c;
-    out.meanCycles = sum / runs;
-    double var = 0;
-    for (double c : cycles)
-        var += (c - out.meanCycles) * (c - out.meanCycles);
-    out.stddevCycles = runs > 1 ? std::sqrt(var / (runs - 1)) : 0.0;
+    SweepSummary summary = summarizeSweep(SweepEngine().run(jobs));
+    SP_ASSERT(summary.failed == 0, "seed sweep run threw");
+    SeedSweep out;
+    out.runs = summary.runs;
+    out.meanCycles = summary.meanCycles;
+    out.stddevCycles = summary.stddevCycles;
+    out.minCycles = summary.minCycles;
+    out.maxCycles = summary.maxCycles;
     return out;
 }
 

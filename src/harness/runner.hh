@@ -79,6 +79,8 @@ struct SeedSweep
  * Run the experiment once per seed in [firstSeed, firstSeed+runs) and
  * aggregate cycle counts -- run-to-run variation comes only from the
  * workloads' key sequences (the machine itself is deterministic).
+ * Runs execute in parallel on the SweepEngine (harness/sweep.hh); the
+ * aggregates are bit-identical to a serial loop's for any worker count.
  */
 SeedSweep runSeedSweep(RunConfig cfg, unsigned runs,
                        uint64_t firstSeed = 1);

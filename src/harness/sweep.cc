@@ -1,0 +1,226 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+unsigned
+SweepEngine::defaultWorkers()
+{
+    if (const char *jobs = std::getenv("SP_JOBS")) {
+        // Signed parse so "-3" reads as nonsense (fall back to the
+        // hardware count), not as a huge unsigned worker count.
+        long long v = std::strtoll(jobs, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(std::min<long long>(v, 256));
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepEngine::SweepEngine(SweepOptions opts)
+    : workers_(opts.workers > 0 ? opts.workers : defaultWorkers()),
+      onProgress_(std::move(opts.onProgress))
+{
+}
+
+namespace
+{
+
+/**
+ * One worker's job queue. Owner pops the front; thieves take the back,
+ * so an owner working down its deal keeps cache-warm consecutive cells
+ * while idle workers drain the far end.
+ */
+struct WorkQueue
+{
+    std::mutex mtx;
+    std::deque<size_t> jobs;
+
+    bool popFront(size_t &out)
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (jobs.empty())
+            return false;
+        out = jobs.front();
+        jobs.pop_front();
+        return true;
+    }
+
+    bool stealBack(size_t &out)
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (jobs.empty())
+            return false;
+        out = jobs.back();
+        jobs.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+std::vector<SweepRunResult>
+SweepEngine::runTasks(size_t count,
+                      const std::function<RunResult(size_t)> &task) const
+{
+    std::vector<SweepRunResult> results(count);
+    if (count == 0)
+        return results;
+
+    unsigned nWorkers =
+        static_cast<unsigned>(std::min<size_t>(workers_, count));
+
+    // Deal jobs round-robin onto the per-worker deques up front; the
+    // queues only shrink afterwards, so termination is "all empty".
+    std::vector<WorkQueue> queues(nWorkers);
+    for (size_t i = 0; i < count; ++i)
+        queues[i % nWorkers].jobs.push_back(i);
+
+    std::mutex progressMtx;
+    size_t completed = 0;
+
+    auto runOne = [&](size_t idx) {
+        SweepRunResult &slot = results[idx];
+        slot.index = idx;
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            slot.run = task(idx);
+            slot.ok = true;
+        } catch (const std::exception &e) {
+            slot.ok = false;
+            slot.error = e.what();
+        } catch (...) {
+            slot.ok = false;
+            slot.error = "unknown exception";
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        slot.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+        std::lock_guard<std::mutex> lk(progressMtx);
+        ++completed;
+        if (onProgress_) {
+            SweepProgress p;
+            p.completed = completed;
+            p.total = count;
+            p.index = idx;
+            p.wallMs = slot.wallMs;
+            onProgress_(p);
+        }
+    };
+
+    auto workerMain = [&](unsigned self) {
+        size_t idx;
+        for (;;) {
+            if (queues[self].popFront(idx)) {
+                runOne(idx);
+                continue;
+            }
+            // Own queue empty: steal, scanning siblings from self+1 so
+            // thieves spread out instead of mobbing worker 0.
+            bool stole = false;
+            for (unsigned k = 1; k < nWorkers && !stole; ++k) {
+                unsigned victim = (self + k) % nWorkers;
+                if (queues[victim].stealBack(idx)) {
+                    runOne(idx);
+                    stole = true;
+                }
+            }
+            if (!stole)
+                return; // every queue empty -> sweep drained
+        }
+    };
+
+    if (nWorkers == 1) {
+        // Degenerate pool: run inline, no thread spawn (keeps single-
+        // worker behaviour trivially identical to a serial loop).
+        workerMain(0);
+        return results;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(nWorkers);
+    for (unsigned w = 0; w < nWorkers; ++w)
+        threads.emplace_back(workerMain, w);
+    for (std::thread &t : threads)
+        t.join();
+    return results;
+}
+
+std::vector<SweepRunResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs) const
+{
+    return runTasks(jobs.size(), [&jobs](size_t i) {
+        return runExperiment(jobs[i].cfg, jobs[i].crashAtCycle);
+    });
+}
+
+std::vector<SweepRunResult>
+SweepEngine::run(const std::vector<RunConfig> &configs) const
+{
+    return runTasks(configs.size(), [&configs](size_t i) {
+        return runExperiment(configs[i]);
+    });
+}
+
+SweepSummary
+summarizeSweep(const std::vector<SweepRunResult> &results)
+{
+    SweepSummary s;
+    s.minCycles = ~uint64_t(0);
+    double sumCycles = 0;
+    double sumInstr = 0;
+    for (const SweepRunResult &r : results) {
+        s.totalWallMs += r.wallMs;
+        if (!r.ok) {
+            ++s.failed;
+            continue;
+        }
+        ++s.runs;
+        sumCycles += static_cast<double>(r.run.stats.cycles);
+        sumInstr += static_cast<double>(r.run.stats.instructions);
+        s.minCycles = std::min(s.minCycles, r.run.stats.cycles);
+        s.maxCycles = std::max(s.maxCycles, r.run.stats.cycles);
+    }
+    if (s.runs == 0) {
+        s.minCycles = 0;
+        return s;
+    }
+    s.meanCycles = sumCycles / s.runs;
+    s.meanInstructions = sumInstr / s.runs;
+    double var = 0;
+    for (const SweepRunResult &r : results) {
+        if (!r.ok)
+            continue;
+        double d = static_cast<double>(r.run.stats.cycles) - s.meanCycles;
+        var += d * d;
+    }
+    s.stddevCycles = s.runs > 1 ? std::sqrt(var / (s.runs - 1)) : 0.0;
+    return s;
+}
+
+std::string
+SweepSummary::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"runs\":" << runs << ",\"failed\":" << failed
+       << ",\"meanCycles\":" << meanCycles
+       << ",\"stddevCycles\":" << stddevCycles
+       << ",\"minCycles\":" << minCycles << ",\"maxCycles\":" << maxCycles
+       << ",\"meanInstructions\":" << meanInstructions
+       << ",\"totalWallMs\":" << totalWallMs << "}";
+    return os.str();
+}
+
+} // namespace sp

@@ -1,6 +1,8 @@
 #include "mem/mem_image.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -96,6 +98,44 @@ MemImage::writeInt(Addr addr, uint64_t value, unsigned size)
 {
     SP_ASSERT(size >= 1 && size <= 8, "writeInt size out of range");
     write(addr, &value, size);
+}
+
+uint64_t
+MemImage::hash() const
+{
+    std::vector<uint64_t> nums;
+    nums.reserve(pages_.size());
+    for (const auto &[num, page] : pages_) {
+        bool allZero = true;
+        for (uint8_t b : *page) {
+            if (b != 0) {
+                allZero = false;
+                break;
+            }
+        }
+        if (!allZero)
+            nums.push_back(num);
+    }
+    std::sort(nums.begin(), nums.end());
+
+    constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t h = kOffset;
+    auto mix = [&h](uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= kPrime;
+        }
+    };
+    for (uint64_t num : nums) {
+        mix(num);
+        const Page &page = *pages_.at(num);
+        for (uint8_t b : page) {
+            h ^= b;
+            h *= kPrime;
+        }
+    }
+    return h;
 }
 
 void

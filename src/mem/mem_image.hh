@@ -55,6 +55,14 @@ class MemImage
     /** Number of resident pages (for tests and memory accounting). */
     size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Deterministic 64-bit content hash (FNV-1a over pages in address
+     * order). All-zero pages hash identically to absent ones, so two
+     * images that read the same everywhere hash the same. Used by the
+     * sweep determinism suite to compare durable images cheaply.
+     */
+    uint64_t hash() const;
+
     /** Drop all contents. */
     void clear() { pages_.clear(); }
 

@@ -15,7 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "pmem/recovery.hh"
 
 using namespace sp;
@@ -120,6 +123,73 @@ allCrashCases()
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CrashRecovery,
                          ::testing::ValuesIn(allCrashCases()), caseName);
+
+/**
+ * Crash-matrix sweep: crash points on a log-spaced grid (dense early,
+ * where setup/log-initialization races live; sparse late) for two
+ * workloads, with the whole matrix of crashed runs executed in parallel
+ * on the SweepEngine. Recovery invariants must hold at every point.
+ */
+TEST(CrashMatrix, LogSpacedGridViaSweepEngine)
+{
+    for (WorkloadKind kind :
+         {WorkloadKind::kLinkedList, WorkloadKind::kBTree}) {
+        RunConfig cfg;
+        cfg.kind = kind;
+        cfg.params.seed = 2026;
+        cfg.params.initOps = 250;
+        cfg.params.simOps = 25;
+        cfg.params.mode = PersistMode::kLogPSf;
+        cfg.sim.sp.enabled = true;
+
+        RunResult full = runExperiment(cfg);
+        ASSERT_TRUE(full.completed);
+
+        // Log-spaced crash grid over [64, cycles-1].
+        const unsigned kPoints = 16;
+        const double lo = std::log(64.0);
+        const double hi = std::log(static_cast<double>(
+            full.stats.cycles > 65 ? full.stats.cycles - 1 : 65));
+        std::vector<SweepJob> jobs;
+        for (unsigned i = 0; i < kPoints; ++i) {
+            double t = lo + (hi - lo) * i / (kPoints - 1);
+            SweepJob job;
+            job.cfg = cfg;
+            job.crashAtCycle = static_cast<Tick>(std::exp(t));
+            jobs.push_back(job);
+        }
+
+        SweepOptions opts;
+        opts.workers = 4;
+        std::vector<SweepRunResult> crashed = SweepEngine(opts).run(jobs);
+        ASSERT_EQ(crashed.size(), jobs.size());
+
+        for (size_t i = 0; i < crashed.size(); ++i) {
+            ASSERT_TRUE(crashed[i].ok) << crashed[i].error;
+            RunResult &r = crashed[i].run;
+            ASSERT_FALSE(r.completed)
+                << "crash @ " << jobs[i].crashAtCycle << " did not stop";
+
+            recoverImage(r.durable);
+            uint64_t gen = Workload::generation(r.durable);
+            ASSERT_LE(gen, full.functionalGeneration);
+
+            auto replay = makeWorkload(cfg.kind, cfg.params);
+            replay->setup();
+            replay->runFunctionalToGeneration(gen);
+
+            std::string why;
+            ASSERT_TRUE(replay->checkImage(r.durable, &why))
+                << workloadKindName(kind) << " crash @ "
+                << jobs[i].crashAtCycle << " gen " << gen << ": " << why;
+            ASSERT_EQ(replay->contents(r.durable),
+                      replay->contents(replay->image()))
+                << workloadKindName(kind) << " crash @ "
+                << jobs[i].crashAtCycle << " gen " << gen
+                << ": recovered contents differ from replayed boundary";
+        }
+    }
+}
 
 TEST(CrashRecoverySeeds, BTreeSurvivesManySeeds)
 {

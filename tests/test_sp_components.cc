@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "core/blt.hh"
 #include "core/bloom_filter.hh"
 #include "core/checkpoint.hh"
@@ -74,6 +77,74 @@ TEST(BloomFilter, SizeBits)
 {
     EXPECT_EQ(BloomFilter(512, 2).sizeBits(), 4096u);
     EXPECT_EQ(BloomFilter(64, 1).sizeBits(), 512u);
+}
+
+/**
+ * Property test (paper SSB lookup correctness): over randomized
+ * SSB-style insert/query workloads -- stores clustered in a heap-like
+ * region the way speculative epochs produce them -- the filter never
+ * false-negatives, and its false-positive rate stays under the analytic
+ * bound (1 - e^(-kn/m))^k with generous slack for hash imperfection.
+ */
+TEST(BloomFilter, PropertyRandomizedSsbWorkloads)
+{
+    struct Shape
+    {
+        uint64_t seed;
+        unsigned inserts; // distinct-ish stores in one epoch
+    };
+    for (const Shape &shape :
+         {Shape{11, 16}, Shape{12, 48}, Shape{13, 96}, Shape{14, 160},
+          Shape{15, 256}}) {
+        BloomFilter bloom(512, 2);
+        const unsigned m = bloom.sizeBits();
+        const unsigned k = 2;
+        Rng rng(shape.seed);
+
+        // Insert phase: block addresses drawn from a 16 MiB heap-like
+        // window, with some same-block repeats (write locality), as an
+        // epoch's speculative stores would be.
+        std::set<Addr> present;
+        for (unsigned i = 0; i < shape.inserts; ++i) {
+            Addr a = (0x4000'0000ull + rng.nextBounded(16u << 20)) &
+                ~Addr(63);
+            bloom.insert(a);
+            present.insert(a);
+            if (rng.nextBool(0.25)) { // repeat hit on the same block
+                bloom.insert(a + rng.nextBounded(64));
+            }
+        }
+
+        // No false negatives: every inserted block (at any offset) must
+        // still answer "maybe".
+        for (Addr a : present) {
+            EXPECT_TRUE(bloom.maybeContains(a));
+            EXPECT_TRUE(bloom.maybeContains(a + 63));
+        }
+
+        // Query phase: speculative loads over the same window; count
+        // false positives only on blocks genuinely absent.
+        unsigned fp = 0, negatives = 0;
+        const unsigned kQueries = 20000;
+        for (unsigned i = 0; i < kQueries; ++i) {
+            Addr a = (0x4000'0000ull + rng.nextBounded(16u << 20)) &
+                ~Addr(63);
+            if (present.count(a))
+                continue;
+            ++negatives;
+            fp += bloom.maybeContains(a);
+        }
+        ASSERT_GT(negatives, kQueries / 2u);
+
+        double n = static_cast<double>(present.size());
+        double analytic =
+            std::pow(1.0 - std::exp(-double(k) * n / m), double(k));
+        double bound = std::max(3.0 * analytic, 0.003);
+        double rate = static_cast<double>(fp) / negatives;
+        EXPECT_LT(rate, bound)
+            << "seed " << shape.seed << ", " << present.size()
+            << " blocks: FP rate " << rate << " vs bound " << bound;
+    }
 }
 
 // --- SSB --------------------------------------------------------------------

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the SweepEngine thread pool itself (not the simulator):
+ * result ordering, exception isolation, progress-callback accounting,
+ * worker-count resolution, and the empty/single-run edge cases. Driven
+ * through runTasks() with synthetic tasks so each property is tested in
+ * isolation from simulation cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+#include "harness/sweep.hh"
+
+using namespace sp;
+
+namespace
+{
+
+/** A task whose result encodes its index, so ordering is checkable. */
+RunResult
+indexedResult(size_t i)
+{
+    RunResult r;
+    r.stats.cycles = 1000 + i;
+    r.functionalGeneration = i;
+    return r;
+}
+
+SweepEngine
+engineWith(unsigned workers)
+{
+    SweepOptions opts;
+    opts.workers = workers;
+    return SweepEngine(opts);
+}
+
+} // namespace
+
+TEST(SweepEngine, ResultsComeBackInSubmissionOrder)
+{
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        std::vector<SweepRunResult> results =
+            engineWith(workers).runTasks(37, indexedResult);
+        ASSERT_EQ(results.size(), 37u);
+        for (size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].index, i);
+            ASSERT_TRUE(results[i].ok);
+            EXPECT_EQ(results[i].run.stats.cycles, 1000 + i);
+            EXPECT_EQ(results[i].run.functionalGeneration, i);
+        }
+    }
+}
+
+TEST(SweepEngine, ZeroRuns)
+{
+    std::atomic<int> calls{0};
+    SweepOptions opts;
+    opts.workers = 4;
+    opts.onProgress = [&](const SweepProgress &) { ++calls; };
+    std::vector<SweepRunResult> results =
+        SweepEngine(opts).runTasks(0, indexedResult);
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(SweepEngine, SingleRun)
+{
+    std::vector<SweepRunResult> results =
+        engineWith(8).runTasks(1, indexedResult);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].run.stats.cycles, 1000u);
+    EXPECT_GE(results[0].wallMs, 0.0);
+}
+
+TEST(SweepEngine, MoreWorkersThanJobs)
+{
+    std::vector<SweepRunResult> results =
+        engineWith(8).runTasks(3, indexedResult);
+    ASSERT_EQ(results.size(), 3u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(results[i].run.stats.cycles, 1000 + i);
+}
+
+TEST(SweepEngine, ExceptionInOneRunDoesNotPoisonSiblings)
+{
+    for (unsigned workers : {1u, 4u}) {
+        std::vector<SweepRunResult> results =
+            engineWith(workers).runTasks(10, [](size_t i) {
+                if (i == 3)
+                    throw std::runtime_error("injected failure");
+                return indexedResult(i);
+            });
+        ASSERT_EQ(results.size(), 10u);
+        for (size_t i = 0; i < 10; ++i) {
+            if (i == 3) {
+                EXPECT_FALSE(results[i].ok);
+                EXPECT_EQ(results[i].error, "injected failure");
+            } else {
+                EXPECT_TRUE(results[i].ok) << "sibling " << i;
+                EXPECT_EQ(results[i].run.stats.cycles, 1000 + i);
+            }
+        }
+    }
+}
+
+TEST(SweepEngine, NonStdExceptionIsCaughtToo)
+{
+    std::vector<SweepRunResult> results =
+        engineWith(2).runTasks(2, [](size_t i) -> RunResult {
+            if (i == 1)
+                throw 42;
+            return indexedResult(i);
+        });
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_EQ(results[1].error, "unknown exception");
+}
+
+TEST(SweepEngine, ProgressFiresExactlyOncePerRun)
+{
+    const size_t kRuns = 23;
+    std::set<size_t> seenIndices;
+    std::set<size_t> seenCompleted;
+    size_t total = 0;
+    SweepOptions opts;
+    opts.workers = 4;
+    // The callback contract: serialized, so plain containers are safe.
+    opts.onProgress = [&](const SweepProgress &p) {
+        EXPECT_TRUE(seenIndices.insert(p.index).second)
+            << "index " << p.index << " reported twice";
+        EXPECT_TRUE(seenCompleted.insert(p.completed).second)
+            << "completed count " << p.completed << " repeated";
+        EXPECT_EQ(p.total, kRuns);
+        EXPECT_GE(p.wallMs, 0.0);
+        total = p.total;
+    };
+    SweepEngine(opts).runTasks(kRuns, indexedResult);
+    EXPECT_EQ(seenIndices.size(), kRuns);
+    // completed values form exactly 1..kRuns.
+    EXPECT_EQ(*seenCompleted.begin(), 1u);
+    EXPECT_EQ(*seenCompleted.rbegin(), kRuns);
+    EXPECT_EQ(total, kRuns);
+}
+
+TEST(SweepEngine, ProgressFiresForFailedRunsToo)
+{
+    std::atomic<int> calls{0};
+    SweepOptions opts;
+    opts.workers = 2;
+    opts.onProgress = [&](const SweepProgress &) { ++calls; };
+    SweepEngine(opts).runTasks(4, [](size_t i) {
+        if (i % 2 == 0)
+            throw std::runtime_error("boom");
+        return indexedResult(i);
+    });
+    EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(SweepEngine, WorkerCountResolution)
+{
+    EXPECT_EQ(engineWith(3).workers(), 3u);
+    EXPECT_GE(engineWith(0).workers(), 1u);
+
+    // SP_JOBS drives the automatic count.
+    ASSERT_EQ(setenv("SP_JOBS", "5", 1), 0);
+    EXPECT_EQ(SweepEngine::defaultWorkers(), 5u);
+    EXPECT_EQ(engineWith(0).workers(), 5u);
+    // Explicit workers beat the environment.
+    EXPECT_EQ(engineWith(2).workers(), 2u);
+    ASSERT_EQ(setenv("SP_JOBS", "0", 1), 0);
+    EXPECT_GE(SweepEngine::defaultWorkers(), 1u);
+    unsetenv("SP_JOBS");
+}
+
+TEST(SweepEngine, SummaryAggregatesAndJson)
+{
+    std::vector<SweepRunResult> results =
+        engineWith(4).runTasks(4, [](size_t i) {
+            if (i == 2)
+                throw std::runtime_error("skip me");
+            RunResult r;
+            r.stats.cycles = (i + 1) * 100; // 100, 200, -, 400
+            r.stats.instructions = 10;
+            return r;
+        });
+    SweepSummary s = summarizeSweep(results);
+    EXPECT_EQ(s.runs, 3u);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.minCycles, 100u);
+    EXPECT_EQ(s.maxCycles, 400u);
+    EXPECT_DOUBLE_EQ(s.meanCycles, (100.0 + 200.0 + 400.0) / 3);
+    EXPECT_DOUBLE_EQ(s.meanInstructions, 10.0);
+
+    std::string json = s.toJson();
+    EXPECT_NE(json.find("\"runs\":3"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"failed\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"minCycles\":100"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"maxCycles\":400"), std::string::npos) << json;
+}
+
+TEST(SweepEngine, EmptySummary)
+{
+    SweepSummary s = summarizeSweep({});
+    EXPECT_EQ(s.runs, 0u);
+    EXPECT_EQ(s.minCycles, 0u);
+    EXPECT_EQ(s.maxCycles, 0u);
+    EXPECT_NE(s.toJson().find("\"runs\":0"), std::string::npos);
+}
