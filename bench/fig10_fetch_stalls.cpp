@@ -8,7 +8,11 @@
  * and SP eliminates nearly all of the difference, landing only slightly
  * above Log+P.
  *
- * The kind x variant grid runs in parallel on the SweepEngine.
+ * The kind x variant grid runs in parallel on the SweepEngine. Every run
+ * carries a summary-only tracer (tracing never perturbs the simulation),
+ * so alongside the headline ratio the bench reports *where* the stall
+ * cycles sit: fence-stall interval percentiles per workload for the
+ * fenced variants, plus the sweep-level trace aggregate as a JSON line.
  */
 
 #include <iostream>
@@ -17,8 +21,25 @@
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
+#include "sim/trace.hh"
 
 using namespace sp;
+
+namespace
+{
+
+std::string
+stallCell(const TraceSummary &trace)
+{
+    const Histogram &h = trace.fenceStall;
+    if (h.samples() == 0)
+        return "-";
+    return std::to_string(h.percentileUpperBound(0.50)) + "/" +
+        std::to_string(h.percentileUpperBound(0.90)) + "/" +
+        std::to_string(h.percentileUpperBound(0.99));
+}
+
+} // namespace
 
 int
 main()
@@ -39,27 +60,48 @@ main()
     };
 
     std::vector<RunConfig> grid;
-    for (WorkloadKind kind : allWorkloadKinds())
-        for (const Variant &v : variants)
-            grid.push_back(makeRunConfig(kind, v.mode, v.sp));
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        for (const Variant &v : variants) {
+            RunConfig cfg = makeRunConfig(kind, v.mode, v.sp);
+            // Stall/epoch histograms ride along in summary-only mode;
+            // counters are skipped (nothing reads them here).
+            cfg.trace.categories = kTraceDefault & ~kTraceCounters;
+            grid.push_back(cfg);
+        }
+    }
     std::vector<SweepRunResult> results = SweepEngine().run(grid);
 
     Table table({"bench", "base cycles", "Log+P", "Log+P+Sf", "SP256"});
+    Table stalls({"bench", "Log+P+Sf p50/p90/p99", "SP256 p50/p90/p99",
+                  "SP epochs", "epoch p90"});
     size_t row = 0;
     for (WorkloadKind kind : allWorkloadKinds()) {
-        const Stats &base = results[row * 4 + 0].run.stats;
-        const Stats &logp = results[row * 4 + 1].run.stats;
-        const Stats &logpsf = results[row * 4 + 2].run.stats;
-        const Stats &sp = results[row * 4 + 3].run.stats;
+        const RunResult &base = results[row * 4 + 0].run;
+        const RunResult &logp = results[row * 4 + 1].run;
+        const RunResult &logpsf = results[row * 4 + 2].run;
+        const RunResult &sp = results[row * 4 + 3].run;
         ++row;
         table.addRow({workloadKindName(kind),
-                      std::to_string(base.cycles),
-                      Table::num(logp.fetchStallRatio(base), 3),
-                      Table::num(logpsf.fetchStallRatio(base), 3),
-                      Table::num(sp.fetchStallRatio(base), 3)});
+                      std::to_string(base.stats.cycles),
+                      Table::num(logp.stats.fetchStallRatio(base.stats), 3),
+                      Table::num(logpsf.stats.fetchStallRatio(base.stats), 3),
+                      Table::num(sp.stats.fetchStallRatio(base.stats), 3)});
+        stalls.addRow({workloadKindName(kind),
+                       stallCell(logpsf.trace),
+                       stallCell(sp.trace),
+                       std::to_string(sp.trace.epochsEnded),
+                       std::to_string(sp.trace.epochDuration
+                                          .percentileUpperBound(0.90))});
     }
     table.print(std::cout);
     maybeWriteCsv("fig10_fetch_stalls", table);
     std::cout << "\n(Log+P+Sf >> Log+P; SP256 lands back near Log+P)\n";
+
+    std::cout << "\n-- fence-stall interval breakdown (cycles) --\n";
+    stalls.print(std::cout);
+    maybeWriteCsv("fig10_stall_breakdown", stalls);
+
+    std::cout << "\nsweep trace summary: "
+              << summarizeSweep(results).toJson() << "\n";
     return 0;
 }

@@ -13,6 +13,11 @@
  * speculatively (look for "SPECULATE"), the following work retires into
  * the SSB ("retire*" lines), and the epoch commits in the background
  * ("COMMIT").
+ *
+ * The text lines are the trace bus's text backend (sim/trace.hh): the
+ * same events feed the Chrome-JSON exporter, so `spcli --trace=FILE`
+ * shows this exact story on a Perfetto timeline. Each run ends with its
+ * TraceSummary -- the condensed stall/epoch histograms sweeps aggregate.
  */
 
 #include <iostream>
@@ -21,6 +26,7 @@
 #include "isa/program.hh"
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
+#include "sim/trace.hh"
 
 using namespace sp;
 
@@ -63,9 +69,14 @@ run(bool sp)
     MemSystem mc(cfg.mem, durable);
     CacheHierarchy caches(cfg, mc);
     OooCore core(cfg, prog, caches, mc, stats);
-    core.setTraceSink(&std::cout);
+    TraceOptions opts;
+    opts.categories = kTraceAll;
+    Tracer tracer(opts);
+    tracer.setTextSink(&std::cout);
+    core.setTracer(&tracer);
     core.run();
-    std::cout << "total: " << stats.cycles << " cycles\n\n";
+    std::cout << "total: " << stats.cycles << " cycles\n";
+    std::cout << "summary: " << tracer.summary().toJson() << "\n\n";
     return stats.cycles;
 }
 

@@ -9,25 +9,38 @@
  *         [--sp] [--strict] [--ssb N] [--checkpoints N] [--banks N]
  *         [--wpq N] [--mcs N] [--ops N] [--init N] [--seed N]
  *         [--evict] [--probe-period N] [--crash-at CYCLE] [--csv]
- *         [--trace]
+ *         [--trace] [--trace=FILE] [--trace-csv=FILE]
+ *         [--trace-categories=LIST] [--sample-every=N]
+ *
+ * Tracing:
+ *   --trace             stream human-readable event lines to stdout
+ *   --trace=FILE        write Chrome trace-event JSON (open the file in
+ *                       ui.perfetto.dev or chrome://tracing)
+ *   --trace-csv=FILE    write the counter tracks as a CSV time series
+ *   --trace-categories  comma list: retire,spec,epoch,ssb,cache,mem,
+ *                       counters,all,default (default: "default" for
+ *                       file export, "all" for --trace text)
+ *   --sample-every=N    occupancy-sampler period in cycles (default 64)
  *
  * Examples:
  *   spcli --workload BT --sp --ssb 128
  *   spcli --workload SS --mode logp --ops 5000
  *   spcli --workload LL --sp --crash-at 100000
+ *   spcli --workload HM --sp --trace=hm.json --sample-every=16
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
-#include "cpu/ooo_core.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
-#include "mem/cache_hierarchy.hh"
-#include "mem/mem_system.hh"
 #include "pmem/recovery.hh"
+#include "sim/trace.hh"
 
 using namespace sp;
 
@@ -45,7 +58,8 @@ usage(const char *msg = nullptr)
         "             [--ssb N] [--checkpoints N] [--banks N] [--wpq N]\n"
         "             [--mcs N] [--ops N] [--init N] [--seed N] [--evict]\n"
         "             [--probe-period N] [--crash-at CYCLE] [--csv]\n"
-        "             [--trace]\n";
+        "             [--trace] [--trace=FILE] [--trace-csv=FILE]\n"
+        "             [--trace-categories=LIST] [--sample-every=N]\n";
     std::exit(msg ? 1 : 0);
 }
 
@@ -68,7 +82,11 @@ main(int argc, char **argv)
                                   PersistMode::kLogPSf, false);
     Tick crash_at = 0;
     bool csv = false;
-    bool trace = false;
+    bool trace_text = false;
+    std::string trace_file;
+    std::string trace_csv_file;
+    uint32_t trace_cats = 0;
+    unsigned sample_every = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -77,13 +95,24 @@ main(int argc, char **argv)
                 usage((flag + " needs a value").c_str());
             return argv[++i];
         };
+        // Split "--flag=value" so both argument styles work.
+        std::string inline_value;
+        bool has_inline = false;
+        if (auto eq = flag.find('='); eq != std::string::npos) {
+            inline_value = flag.substr(eq + 1);
+            flag = flag.substr(0, eq);
+            has_inline = true;
+        }
+        auto value = [&]() -> std::string {
+            return has_inline ? inline_value : std::string(next());
+        };
         if (flag == "--help" || flag == "-h") {
             usage();
         } else if (flag == "--workload") {
-            const char *name = next();
+            std::string name = value();
             bool matched = false;
             for (WorkloadKind k : allWorkloadKinds()) {
-                if (std::strcmp(name, workloadKindName(k)) == 0) {
+                if (name == workloadKindName(k)) {
                     cfg.kind = k;
                     // Re-derive default op counts for the new kind,
                     // preserving any --ops/--init given earlier by
@@ -100,7 +129,7 @@ main(int argc, char **argv)
             if (!matched)
                 usage("unknown workload");
         } else if (flag == "--mode") {
-            std::string m = next();
+            std::string m = value();
             if (m == "base")
                 cfg.params.mode = PersistMode::kNone;
             else if (m == "log")
@@ -117,35 +146,45 @@ main(int argc, char **argv)
             cfg.sim.sp.strictCommit = true;
         } else if (flag == "--ssb") {
             cfg.sim.sp.ssbEntries =
-                static_cast<unsigned>(parseNum(next(), "--ssb"));
+                static_cast<unsigned>(parseNum(value().c_str(), "--ssb"));
         } else if (flag == "--checkpoints") {
-            cfg.sim.sp.checkpoints =
-                static_cast<unsigned>(parseNum(next(), "--checkpoints"));
+            cfg.sim.sp.checkpoints = static_cast<unsigned>(
+                parseNum(value().c_str(), "--checkpoints"));
         } else if (flag == "--banks") {
             cfg.sim.mem.nvmmBanks =
-                static_cast<unsigned>(parseNum(next(), "--banks"));
+                static_cast<unsigned>(parseNum(value().c_str(), "--banks"));
         } else if (flag == "--wpq") {
             cfg.sim.mem.wpqEntries =
-                static_cast<unsigned>(parseNum(next(), "--wpq"));
+                static_cast<unsigned>(parseNum(value().c_str(), "--wpq"));
         } else if (flag == "--mcs") {
             cfg.sim.mem.numMemCtrls =
-                static_cast<unsigned>(parseNum(next(), "--mcs"));
+                static_cast<unsigned>(parseNum(value().c_str(), "--mcs"));
         } else if (flag == "--ops") {
-            cfg.params.simOps = parseNum(next(), "--ops");
+            cfg.params.simOps = parseNum(value().c_str(), "--ops");
         } else if (flag == "--init") {
-            cfg.params.initOps = parseNum(next(), "--init");
+            cfg.params.initOps = parseNum(value().c_str(), "--init");
         } else if (flag == "--seed") {
-            cfg.params.seed = parseNum(next(), "--seed");
+            cfg.params.seed = parseNum(value().c_str(), "--seed");
         } else if (flag == "--evict") {
             cfg.params.evictOnPersist = true;
         } else if (flag == "--probe-period") {
-            cfg.probePeriod = parseNum(next(), "--probe-period");
+            cfg.probePeriod = parseNum(value().c_str(), "--probe-period");
         } else if (flag == "--crash-at") {
-            crash_at = parseNum(next(), "--crash-at");
+            crash_at = parseNum(value().c_str(), "--crash-at");
         } else if (flag == "--csv") {
             csv = true;
         } else if (flag == "--trace") {
-            trace = true;
+            if (has_inline)
+                trace_file = inline_value;
+            else
+                trace_text = true;
+        } else if (flag == "--trace-csv") {
+            trace_csv_file = value();
+        } else if (flag == "--trace-categories") {
+            trace_cats = parseTraceCategories(value());
+        } else if (flag == "--sample-every") {
+            sample_every = static_cast<unsigned>(
+                parseNum(value().c_str(), "--sample-every"));
         } else {
             usage(("unknown flag " + flag).c_str());
         }
@@ -158,25 +197,26 @@ main(int argc, char **argv)
               << cfg.params.simOps << " ops, seed " << cfg.params.seed
               << "\n\n";
 
-    if (trace) {
-        // Tracing needs direct access to the core; drive the machine
-        // inline (small op counts advised).
-        auto workload = makeWorkload(cfg.kind, cfg.params);
-        workload->setup();
-        MemImage durable = workload->image();
-        Stats stats;
-        MemSystem mc(cfg.sim.mem, durable);
-        CacheHierarchy caches(cfg.sim, mc);
-        mc.setStats(&stats);
-        caches.setStats(&stats);
-        OooCore core(cfg.sim, workload->program(), caches, mc, stats);
-        core.setTraceSink(&std::cout);
-        core.run();
-        std::cout << "\ntotal: " << stats.cycles << " cycles\n";
-        return 0;
+    // One tracer for the run, whatever combination of backends is on:
+    // text lines stream during the run; file exports happen at the end.
+    bool tracing =
+        trace_text || !trace_file.empty() || !trace_csv_file.empty();
+    std::unique_ptr<Tracer> tracer;
+    if (tracing) {
+        TraceOptions opts;
+        opts.categories = trace_cats != 0
+            ? trace_cats
+            : (trace_text ? kTraceAll : kTraceDefault);
+        if (sample_every != 0)
+            opts.sampleEvery = sample_every;
+        opts.retainEvents =
+            !trace_file.empty() || !trace_csv_file.empty();
+        tracer = std::make_unique<Tracer>(opts);
+        if (trace_text)
+            tracer->setTextSink(&std::cout);
     }
 
-    RunResult r = runExperiment(cfg, crash_at);
+    RunResult r = runExperiment(cfg, crash_at, tracer.get());
 
     if (crash_at != 0 && !r.completed) {
         std::cout << "crashed at cycle " << crash_at << "; recovering the "
@@ -195,6 +235,42 @@ main(int argc, char **argv)
                                   : "no transaction in flight")
                   << ", generation " << gen << " -> "
                   << (ok ? "recovered exactly" : "MISMATCH: " + why)
+                  << "\n\n";
+    }
+
+    if (tracer) {
+        if (!trace_file.empty()) {
+            std::ostringstream buf;
+            tracer->writeChromeJson(buf);
+            std::string doc = buf.str();
+            std::string err;
+            if (!jsonIsValid(doc, &err)) {
+                std::cerr << "spcli: trace JSON failed self-check: " << err
+                          << "\n";
+                return 1;
+            }
+            std::ofstream out(trace_file);
+            if (!out) {
+                std::cerr << "spcli: cannot write " << trace_file << "\n";
+                return 1;
+            }
+            out << doc;
+            std::cout << "trace: wrote " << trace_file << " ("
+                      << tracer->events().size()
+                      << " events; open in ui.perfetto.dev)\n";
+        }
+        if (!trace_csv_file.empty()) {
+            std::ofstream out(trace_csv_file);
+            if (!out) {
+                std::cerr << "spcli: cannot write " << trace_csv_file
+                          << "\n";
+                return 1;
+            }
+            tracer->writeCounterCsv(out);
+            std::cout << "trace: wrote " << trace_csv_file
+                      << " (counter time series)\n";
+        }
+        std::cout << "trace summary: " << tracer->summary().toJson()
                   << "\n\n";
     }
 

@@ -60,7 +60,8 @@ EpochManager::epochById(uint64_t id)
 
 bool
 EpochManager::beginSpeculation(uint64_t cursor,
-                               std::vector<uint64_t> gateFlushes)
+                               std::vector<uint64_t> gateFlushes,
+                               Tick now)
 {
     SP_ASSERT(epochs_.empty(), "beginSpeculation while already speculating");
     unsigned idx = checkpoints_.allocate(cursor);
@@ -71,6 +72,14 @@ EpochManager::beginSpeculation(uint64_t cursor,
     epoch.checkpointIdx = idx;
     epoch.flushes = std::move(gateFlushes);
     epoch.isFirst = true;
+    if (tracer_ && tracer_->enabled(kTraceEpoch)) {
+        tracer_->instant(kTraceEpoch, "checkpoint_take", now,
+                         "\"slot\":" + std::to_string(idx) +
+                             ",\"cursor\":" + std::to_string(cursor));
+        tracer_->asyncBegin(kTraceEpoch, "epoch", epoch.id, now,
+                            "\"cursor\":" + std::to_string(cursor) +
+                                ",\"first\":true");
+    }
     epochs_.push_back(std::move(epoch));
     preSpecDrained_ = false;
     ++stats_.epochsStarted;
@@ -78,7 +87,7 @@ EpochManager::beginSpeculation(uint64_t cursor,
 }
 
 bool
-EpochManager::startChild(uint64_t cursor)
+EpochManager::startChild(uint64_t cursor, Tick now)
 {
     SP_ASSERT(!epochs_.empty(), "startChild outside speculation");
     unsigned idx = checkpoints_.allocate(cursor);
@@ -89,6 +98,15 @@ EpochManager::startChild(uint64_t cursor)
     epoch.id = nextEpochId_++;
     epoch.checkpointIdx = idx;
     epoch.isFirst = false;
+    if (tracer_ && tracer_->enabled(kTraceEpoch)) {
+        tracer_->instant(kTraceEpoch, "checkpoint_take", now,
+                         "\"slot\":" + std::to_string(idx) +
+                             ",\"cursor\":" + std::to_string(cursor));
+        tracer_->asyncBegin(kTraceEpoch, "epoch", epoch.id, now,
+                            "\"cursor\":" + std::to_string(cursor) +
+                                ",\"parent\":" +
+                                std::to_string(epochs_.back().id));
+    }
     epochs_.push_back(std::move(epoch));
     ++stats_.epochsStarted;
     return true;
@@ -102,7 +120,7 @@ EpochManager::drainOne(Tick now)
     switch (entry.type) {
       case SsbEntryType::kStore:
         caches_.writeAccess(entry.addr, entry.value, entry.size, now);
-        ssb_.pop();
+        ssb_.pop(now);
         drainBusyUntil_ = now + 1;
         return true;
       case SsbEntryType::kClwb:
@@ -115,7 +133,7 @@ EpochManager::drainOne(Tick now)
             drainBusyUntil_ = now + 1;
             return false;
         }
-        ssb_.pop();
+        ssb_.pop(now);
         drainBusyUntil_ = now + 1;
         return true;
       }
@@ -130,13 +148,13 @@ EpochManager::drainOne(Tick now)
         epochById(entry.epoch).flushes.push_back(id);
         if (strictCommit_)
             strictWaitFlush_ = id;
-        ssb_.pop();
+        ssb_.pop(now);
         drainBusyUntil_ = now + 1;
         return true;
       }
       case SsbEntryType::kFenceMark:
         // Ordering is inherent in the FIFO drain; nothing to wait for.
-        ssb_.pop();
+        ssb_.pop(now);
         return true;
     }
     return false;
@@ -168,6 +186,10 @@ EpochManager::tick(Tick now)
     }
 
     while (!epochs_.empty() && canRetire(epochs_.front())) {
+        if (tracer_ && tracer_->enabled(kTraceEpoch)) {
+            tracer_->asyncEnd(kTraceEpoch, "epoch", epochs_.front().id,
+                              now, "\"outcome\":\"commit\"");
+        }
         checkpoints_.free(epochs_.front().checkpointIdx);
         epochs_.pop_front();
         ++stats_.epochsCommitted;
@@ -201,9 +223,13 @@ EpochManager::readyToExit() const
 }
 
 void
-EpochManager::exitSpeculation()
+EpochManager::exitSpeculation(Tick now)
 {
     SP_ASSERT(readyToExit(), "exitSpeculation before the SSB drained");
+    if (tracer_ && tracer_->enabled(kTraceEpoch)) {
+        tracer_->asyncEnd(kTraceEpoch, "epoch", epochs_.front().id, now,
+                          "\"outcome\":\"commit\"");
+    }
     checkpoints_.free(epochs_.front().checkpointIdx);
     epochs_.clear();
     ++stats_.epochsCommitted;
@@ -217,8 +243,16 @@ EpochManager::oldestCursor() const
 }
 
 void
-EpochManager::abortAll()
+EpochManager::abortAll(Tick now)
 {
+    if (tracer_ && tracer_->enabled(kTraceEpoch) && !epochs_.empty()) {
+        tracer_->instant(kTraceEpoch, "checkpoint_restore", now,
+                         "\"cursor\":" + std::to_string(oldestCursor()));
+        for (const Epoch &epoch : epochs_) {
+            tracer_->asyncEnd(kTraceEpoch, "epoch", epoch.id, now,
+                              "\"outcome\":\"abort\"");
+        }
+    }
     epochs_.clear();
     checkpoints_.reset();
     drainBusyUntil_ = 0;

@@ -35,6 +35,7 @@
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace sp
 {
@@ -50,6 +51,12 @@ class EpochManager
     EpochManager(SpeculativeStoreBuffer &ssb, CheckpointBuffer &checkpoints,
                  CacheHierarchy &caches, MemSystem &mc, Stats &stats,
                  bool strictCommit = false);
+
+    /**
+     * Attach the trace bus (may be null). Epoch lifecycle publishes
+     * `epoch` async spans plus checkpoint take/restore instants.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
     /** Is the core currently in speculative mode? */
     bool speculating() const { return !epochs_.empty(); }
@@ -67,10 +74,12 @@ class EpochManager
      *               speculatively retired sfence).
      * @param gateFlushes Memory-controller flush ids the retired sfence
      *                    was waiting on; they gate epoch 0's commit.
+     * @param now Current cycle (trace timestamps only).
      * @retval false No checkpoint was free; the trigger must retry.
      */
     bool beginSpeculation(uint64_t cursor,
-                          std::vector<uint64_t> gateFlushes);
+                          std::vector<uint64_t> gateFlushes,
+                          Tick now = 0);
 
     /** Can a child epoch be created right now? */
     bool canStartChild() const { return checkpoints_.available(); }
@@ -79,9 +88,10 @@ class EpochManager
      * Close the current epoch at an ordering instruction and open a child.
      *
      * @param cursor Rollback point for the child (just past the boundary).
+     * @param now Current cycle (trace timestamps only).
      * @retval false No checkpoint free; retirement must stall.
      */
-    bool startChild(uint64_t cursor);
+    bool startChild(uint64_t cursor, Tick now = 0);
 
     /**
      * Tell epoch 0 whether its pre-speculation drain condition (store
@@ -111,14 +121,16 @@ class EpochManager
      */
     bool readyToExit() const;
 
-    /** Leave speculation; frees the final epoch's checkpoint. */
-    void exitSpeculation();
+    /** Leave speculation; frees the final epoch's checkpoint.
+     *  @param now Current cycle (trace timestamps only). */
+    void exitSpeculation(Tick now = 0);
 
     /** Rollback target: cursor of the oldest live checkpoint. */
     uint64_t oldestCursor() const;
 
-    /** Abort: discard every epoch and checkpoint. Caller clears the SSB. */
-    void abortAll();
+    /** Abort: discard every epoch and checkpoint. Caller clears the SSB.
+     *  @param now Current cycle (trace timestamps only). */
+    void abortAll(Tick now = 0);
 
   private:
     struct Epoch
@@ -139,6 +151,7 @@ class EpochManager
     Stats &stats_;
 
     std::deque<Epoch> epochs_;
+    Tracer *tracer_ = nullptr;
     uint64_t nextEpochId_ = 1;
     bool preSpecDrained_ = false;
     bool strictCommit_;

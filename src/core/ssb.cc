@@ -12,10 +12,14 @@ SpeculativeStoreBuffer::SpeculativeStoreBuffer(unsigned entries)
 }
 
 void
-SpeculativeStoreBuffer::push(const SsbEntry &entry)
+SpeculativeStoreBuffer::push(const SsbEntry &entry, Tick now)
 {
     SP_ASSERT(!full(), "SSB overflow");
     entries_.push_back(entry);
+    if (tracer_ && tracer_->enabled(kTraceSsb)) {
+        tracer_->counter(kTraceSsb, "ssb_occupancy", now,
+                         entries_.size());
+    }
 }
 
 const SsbEntry &
@@ -26,10 +30,14 @@ SpeculativeStoreBuffer::front() const
 }
 
 void
-SpeculativeStoreBuffer::pop()
+SpeculativeStoreBuffer::pop(Tick now)
 {
     SP_ASSERT(!empty(), "SSB underflow");
     entries_.pop_front();
+    if (tracer_ && tracer_->enabled(kTraceSsb)) {
+        tracer_->counter(kTraceSsb, "ssb_occupancy", now,
+                         entries_.size());
+    }
 }
 
 bool

@@ -18,6 +18,7 @@
 #include <deque>
 
 #include "sim/config.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace sp
@@ -71,14 +72,24 @@ class SpeculativeStoreBuffer
     /** CAM+RAM access latency for this capacity (Table 3). */
     unsigned latency() const { return latency_; }
 
-    /** Append an entry; the buffer must not be full. */
-    void push(const SsbEntry &entry);
+    /**
+     * Attach the trace bus (may be null). Occupancy changes publish an
+     * `ssb_occupancy` counter track; tracing never affects behaviour.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Append an entry; the buffer must not be full.
+     *
+     * @param now Current cycle, used only to timestamp trace events.
+     */
+    void push(const SsbEntry &entry, Tick now = 0);
 
     /** Oldest entry; the buffer must not be empty. */
     const SsbEntry &front() const;
 
-    /** Remove the oldest entry. */
-    void pop();
+    /** Remove the oldest entry. @param now Trace timestamp only. */
+    void pop(Tick now = 0);
 
     /**
      * Search for the youngest store overlapping [addr, addr+size).
@@ -98,6 +109,7 @@ class SpeculativeStoreBuffer
     unsigned capacity_;
     unsigned latency_;
     std::deque<SsbEntry> entries_;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace sp

@@ -1,7 +1,6 @@
 #include "cpu/ooo_core.hh"
 
 #include <algorithm>
-#include <iomanip>
 
 #include "sim/logging.hh"
 
@@ -17,6 +16,54 @@ OooCore::OooCore(const SimConfig &cfg, Program &program,
               cfg.sp.strictCommit),
       doneAt_(kRingSize, kTickNever)
 {
+}
+
+// --------------------------------------------------------------------------
+// Tracing
+// --------------------------------------------------------------------------
+
+void
+OooCore::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    ssb_.setTracer(tracer);
+    epochs_.setTracer(tracer);
+    caches_.setTracer(tracer);
+    mc_.setTracer(tracer);
+    nextSampleAt_ = now_;
+}
+
+void
+OooCore::setTraceSink(std::ostream *os)
+{
+    if (!os) {
+        if (ownedTracer_ && tracer_ == ownedTracer_.get())
+            setTracer(nullptr);
+        ownedTracer_.reset();
+        return;
+    }
+    TraceOptions opts;
+    opts.categories = kTraceAll;
+    // The text line is emitted at publish time; no need to also retain
+    // the events in memory.
+    opts.retainEvents = false;
+    ownedTracer_ = std::make_unique<Tracer>(opts);
+    ownedTracer_->setTextSink(os);
+    setTracer(ownedTracer_.get());
+}
+
+void
+OooCore::sampleCounters()
+{
+    tracer_->counter(kTraceCounters, "rob", now_, rob_.size());
+    tracer_->counter(kTraceCounters, "fetchq", now_, fetchQ_.size());
+    tracer_->counter(kTraceCounters, "lsq", now_, lsqCount_);
+    tracer_->counter(kTraceCounters, "storebuf", now_,
+                     storeBuffer_.size() + (sbInFlight_ ? 1 : 0));
+    tracer_->counter(kTraceCounters, "inflight_pcommits", now_,
+                     mc_.outstandingFlushes());
+    tracer_->counter(kTraceCounters, "wpq", now_, mc_.wpqOccupancy());
+    tracer_->counter(kTraceCounters, "epochs", now_, epochs_.epochCount());
 }
 
 // --------------------------------------------------------------------------
@@ -200,10 +247,20 @@ OooCore::executeOp(DynOp &op)
                 if (match) {
                     // Forward from the SSB: pay the CAM latency only.
                     ++stats_.ssbForwards;
+                    if (tracer_ && tracer_->enabled(kTraceSsb)) {
+                        tracer_->instant(
+                            kTraceSsb, "ssb_forward", now_,
+                            "\"addr\":" + std::to_string(op.op.addr));
+                    }
                     ready = now_ + ssb_.latency();
                     break;
                 }
                 ++stats_.bloomFalsePositives;
+                if (tracer_ && tracer_->enabled(kTraceSsb)) {
+                    tracer_->instant(
+                        kTraceSsb, "bloom_fp", now_,
+                        "\"addr\":" + std::to_string(op.op.addr));
+                }
                 // False positive: CAM search, then the cache access.
                 ready = caches_.readAccess(op.op.addr, op.op.size,
                                            now_ + ssb_.latency());
@@ -262,22 +319,13 @@ OooCore::issueStage()
 // --------------------------------------------------------------------------
 
 void
-OooCore::trace(const char *event, const std::string &detail)
-{
-    if (!traceSink_)
-        return;
-    *traceSink_ << "[" << std::setw(8) << now_ << "] " << event;
-    if (!detail.empty())
-        *traceSink_ << " " << detail;
-    *traceSink_ << "\n";
-}
-
-void
 OooCore::countRetired(const DynOp &op)
 {
-    if (traceSink_ && op.op.type != OpType::kAlu &&
-        op.op.type != OpType::kAluChain) {
-        trace(specMode_ ? "retire*" : "retire ", op.op.toString());
+    if (tracer_ && tracer_->enabled(kTraceRetire) &&
+        op.op.type != OpType::kAlu && op.op.type != OpType::kAluChain) {
+        tracer_->instant(kTraceRetire,
+                         specMode_ ? "retire_spec" : "retire", now_,
+                         "\"op\":\"" + op.op.toString() + "\"");
     }
     stats_.instructions += op.op.instructionCount();
     switch (op.op.type) {
@@ -345,7 +393,7 @@ OooCore::noteSpecStore(const DynOp &op)
     entry.epoch = epochs_.currentEpoch();
     entry.addr = op.op.addr;
     entry.value = op.op.value;
-    ssb_.push(entry);
+    ssb_.push(entry, now_);
     bloom_.insert(op.op.addr);
     blt_.record(op.op.addr);
     ++stats_.ssbEnqueues;
@@ -389,7 +437,7 @@ OooCore::retireWriteback(const DynOp &head)
                                                   : SsbEntryType::kClflush;
         entry.epoch = epochs_.currentEpoch();
         entry.addr = head.op.addr;
-        ssb_.push(entry);
+        ssb_.push(entry, now_);
         epochHasPersistOps_ = true;
         ++stats_.ssbEnqueues;
         stats_.ssbMaxOccupancy =
@@ -426,7 +474,7 @@ OooCore::retirePcommit(const DynOp &head)
         SsbEntry entry;
         entry.type = SsbEntryType::kPcommit;
         entry.epoch = epochs_.currentEpoch();
-        ssb_.push(entry);
+        ssb_.push(entry, now_);
         epochHasPersistOps_ = true;
         ++stats_.ssbEnqueues;
     } else {
@@ -446,13 +494,16 @@ OooCore::triggerSpeculation(const DynOp &fence)
             gate.push_back(flight.id);
     }
     SP_ASSERT(!gate.empty(), "speculation trigger without pending pcommit");
-    if (!epochs_.beginSpeculation(fence.nextCursor, std::move(gate)))
+    if (!epochs_.beginSpeculation(fence.nextCursor, std::move(gate), now_))
         return false;
     specMode_ = true;
     epochHasPersistOps_ = false;
     flushes_.clear();
-    trace("SPECULATE", "checkpoint at cursor " +
-                           std::to_string(fence.nextCursor));
+    if (tracer_ && tracer_->enabled(kTraceSpec)) {
+        tracer_->instant(kTraceSpec, "SPECULATE", now_,
+                         "\"cursor\":" +
+                             std::to_string(fence.nextCursor));
+    }
     return true;
 }
 
@@ -518,10 +569,10 @@ OooCore::retireSpecFence(const DynOp &head)
                 SsbEntry entry;
                 entry.type = SsbEntryType::kSps;
                 entry.epoch = epochs_.currentEpoch();
-                ssb_.push(entry);
+                ssb_.push(entry, now_);
                 ++stats_.ssbEnqueues;
                 ++stats_.spsTriples;
-                bool ok = epochs_.startChild(f2.nextCursor);
+                bool ok = epochs_.startChild(f2.nextCursor, now_);
                 SP_ASSERT(ok, "startChild failed despite canStartChild");
                 epochHasPersistOps_ = false;
                 // Retire all three ops.
@@ -557,9 +608,9 @@ OooCore::retireSpecFence(const DynOp &head)
     SsbEntry entry;
     entry.type = SsbEntryType::kFenceMark;
     entry.epoch = epochs_.currentEpoch();
-    ssb_.push(entry);
+    ssb_.push(entry, now_);
     ++stats_.ssbEnqueues;
-    bool ok = epochs_.startChild(head.nextCursor);
+    bool ok = epochs_.startChild(head.nextCursor, now_);
     SP_ASSERT(ok, "startChild failed despite canStartChild");
     epochHasPersistOps_ = false;
     countRetired(head);
@@ -585,9 +636,9 @@ OooCore::retireXchg(const DynOp &head)
             SsbEntry mark;
             mark.type = SsbEntryType::kFenceMark;
             mark.epoch = epochs_.currentEpoch();
-            ssb_.push(mark);
+            ssb_.push(mark, now_);
             ++stats_.ssbEnqueues;
-            bool ok = epochs_.startChild(head.nextCursor);
+            bool ok = epochs_.startChild(head.nextCursor, now_);
             SP_ASSERT(ok, "startChild failed despite canStartChild");
             epochHasPersistOps_ = false;
         }
@@ -723,8 +774,9 @@ OooCore::maybeExitSpeculation()
         return;
     if (!epochs_.readyToExit())
         return;
-    trace("COMMIT", "all epochs drained; leaving speculation");
-    epochs_.exitSpeculation();
+    if (tracer_ && tracer_->enabled(kTraceSpec))
+        tracer_->instant(kTraceSpec, "COMMIT", now_);
+    epochs_.exitSpeculation(now_);
     bloom_.reset();
     blt_.clear();
     specMode_ = false;
@@ -737,9 +789,14 @@ OooCore::abortSpeculation()
 {
     ++stats_.aborts;
     uint64_t cursor = epochs_.oldestCursor();
-    trace("ABORT", "rolling back to cursor " + std::to_string(cursor));
-    epochs_.abortAll();
+    if (tracer_ && tracer_->enabled(kTraceSpec)) {
+        tracer_->instant(kTraceSpec, "ABORT", now_,
+                         "\"cursor\":" + std::to_string(cursor));
+    }
+    epochs_.abortAll(now_);
     ssb_.clear();
+    if (tracer_ && tracer_->enabled(kTraceSsb))
+        tracer_->counter(kTraceSsb, "ssb_occupancy", now_, 0);
     bloom_.reset();
     blt_.clear();
     program_.rewind(cursor);
@@ -842,6 +899,26 @@ OooCore::stepCycle()
         ++stats_.checkpointStallCycles;
     if (flags_.sbBlocked)
         ++stats_.storeBufferStallCycles;
+
+    if (tracer_) {
+        // Fence-stall intervals: one span from the first blocked cycle
+        // to the first cycle the head is no longer fence-blocked
+        // (retired, or speculatively retired by the SP trigger).
+        if (tracer_->enabled(kTraceSpec)) {
+            if (flags_.fenceBlocked) {
+                if (fenceStallBegin_ == kTickNever)
+                    fenceStallBegin_ = now_;
+            } else if (fenceStallBegin_ != kTickNever) {
+                tracer_->span(kTraceSpec, "fence_stall",
+                              fenceStallBegin_, now_);
+                fenceStallBegin_ = kTickNever;
+            }
+        }
+        if (tracer_->enabled(kTraceCounters) && now_ >= nextSampleAt_) {
+            sampleCounters();
+            nextSampleAt_ = now_ + tracer_->sampleEvery();
+        }
+    }
 }
 
 Tick

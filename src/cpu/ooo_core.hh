@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -48,6 +49,7 @@
 #include "mem/mem_system.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace sp
 {
@@ -101,11 +103,24 @@ class OooCore
                               uint64_t seed);
 
     /**
+     * Attach the structured trace bus (may be null = tracing off) and
+     * propagate it to every component the core owns or drives (SSB,
+     * epoch manager, caches, memory system). The core publishes retire
+     * instants, SPECULATE/COMMIT/ABORT markers, fence-stall spans,
+     * Bloom/SSB-forward instants, and interval-sampled occupancy
+     * counters. The caller keeps ownership of the tracer.
+     */
+    void setTracer(Tracer *tracer);
+
+    /**
      * Stream a human-readable event trace (retirements, speculation
      * enter/exit/abort, epoch boundaries) to `os`; null disables. Meant
-     * for small traces -- every retired op becomes a line.
+     * for small traces -- every retired op becomes a line. Implemented
+     * as a text backend on the trace bus: this creates an owned
+     * all-categories Tracer, so it replaces any tracer attached via
+     * setTracer().
      */
-    void setTraceSink(std::ostream *os) { traceSink_ = os; }
+    void setTraceSink(std::ostream *os);
 
     /** Diagnostics for tests. */
     const SpeculativeStoreBuffer &ssb() const { return ssb_; }
@@ -196,10 +211,19 @@ class OooCore
     bool postAbortDrain_ = false;
 
     uint64_t releasedCursor_ = 0;
-    std::ostream *traceSink_ = nullptr;
 
-    /** Emit one trace line if a sink is attached. */
-    void trace(const char *event, const std::string &detail = "");
+    // --- Tracing ----------------------------------------------------------
+    /** Event bus; null = tracing off (the bit-identical fast path). */
+    Tracer *tracer_ = nullptr;
+    /** Backing tracer for the legacy setTraceSink() text interface. */
+    std::unique_ptr<Tracer> ownedTracer_;
+    /** Start of the fence-stall interval in progress; kTickNever = none. */
+    Tick fenceStallBegin_ = kTickNever;
+    /** Next interval-sampler firing tick. */
+    Tick nextSampleAt_ = 0;
+
+    /** Publish one sample on every occupancy counter track. */
+    void sampleCounters();
 
     // --- Probe injection ---------------------------------------------------
     std::multimap<Tick, Addr> probes_;

@@ -15,9 +15,20 @@ namespace sp
 {
 
 RunResult
-runExperiment(const RunConfig &cfg, Tick crashAtCycle)
+runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
 {
     RunResult result;
+
+    // Per-run tracer, created only when the config asks for one and the
+    // caller did not supply its own. Summary-only: sweeps aggregate the
+    // TraceSummary, so the event vector would be dead weight.
+    std::unique_ptr<Tracer> owned;
+    if (!tracer && cfg.trace.categories != 0) {
+        TraceOptions opts = cfg.trace;
+        opts.retainEvents = false;
+        owned = std::make_unique<Tracer>(opts);
+        tracer = owned.get();
+    }
 
     auto workload = makeWorkload(cfg.kind, cfg.params);
     workload->setup();
@@ -33,6 +44,8 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle)
 
     OooCore core(cfg.sim, workload->program(), caches, mc,
                  result.stats);
+    if (tracer)
+        core.setTracer(tracer);
     if (cfg.probePeriod != 0) {
         // Target the hot region: workload metadata, the undo log, and the
         // first stretch of the heap -- where speculative writes live.
@@ -55,6 +68,8 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle)
         caches.writebackAll();
         mc.drainAll();
     }
+    if (tracer)
+        result.trace = tracer->summary();
     return result;
 }
 

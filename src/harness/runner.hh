@@ -14,6 +14,7 @@
 #include "mem/mem_image.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "workloads/factory.hh"
 
 namespace sp
@@ -31,6 +32,14 @@ struct RunConfig
      */
     Tick probePeriod = 0;
     uint64_t probeSeed = 99;
+    /**
+     * Tracing knobs. categories == 0 (the default) is tracing fully off;
+     * nonzero makes the runner attach a per-run Tracer in summary-only
+     * mode (retainEvents = false) unless the caller passes its own
+     * tracer to runExperiment(). Tracing never perturbs the simulation:
+     * Stats and the durable image are bit-identical either way.
+     */
+    TraceOptions trace;
 };
 
 /** Everything a run produces. */
@@ -43,6 +52,8 @@ struct RunResult
     bool completed = true;
     /** Generation counter reached by the volatile (functional) state. */
     uint64_t functionalGeneration = 0;
+    /** Condensed trace view (enabled == false when tracing was off). */
+    TraceSummary trace;
 };
 
 /**
@@ -52,8 +63,13 @@ struct RunResult
  * @param crashAtCycle If nonzero, stop the machine at this cycle and
  *        return the durable image as a crash snapshot (caches and the WPQ
  *        are lost, exactly as in a power failure).
+ * @param tracer Optional caller-owned event bus (e.g. for file export).
+ *        When null and cfg.trace.categories != 0 the runner creates a
+ *        summary-only tracer internally; either way RunResult::trace is
+ *        filled from the tracer's summary.
  */
-RunResult runExperiment(const RunConfig &cfg, Tick crashAtCycle = 0);
+RunResult runExperiment(const RunConfig &cfg, Tick crashAtCycle = 0,
+                        Tracer *tracer = nullptr);
 
 /**
  * Apply SP_OPS / SP_INIT / SP_SEED environment overrides (used by benches

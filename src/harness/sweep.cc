@@ -192,6 +192,12 @@ summarizeSweep(const std::vector<SweepRunResult> &results)
         sumInstr += static_cast<double>(r.run.stats.instructions);
         s.minCycles = std::min(s.minCycles, r.run.stats.cycles);
         s.maxCycles = std::max(s.maxCycles, r.run.stats.cycles);
+        if (r.run.trace.enabled) {
+            ++s.tracedRuns;
+            s.traceEvents += r.run.trace.events;
+            s.fenceStall.merge(r.run.trace.fenceStall);
+            s.epochDuration.merge(r.run.trace.epochDuration);
+        }
     }
     if (s.runs == 0) {
         s.minCycles = 0;
@@ -219,7 +225,20 @@ SweepSummary::toJson() const
        << ",\"stddevCycles\":" << stddevCycles
        << ",\"minCycles\":" << minCycles << ",\"maxCycles\":" << maxCycles
        << ",\"meanInstructions\":" << meanInstructions
-       << ",\"totalWallMs\":" << totalWallMs << "}";
+       << ",\"totalWallMs\":" << totalWallMs
+       << ",\"tracedRuns\":" << tracedRuns
+       << ",\"traceEvents\":" << traceEvents;
+    auto hist = [&os](const char *name, const Histogram &h) {
+        os << ",\"" << name << "\":{\"n\":" << h.samples()
+           << ",\"mean\":" << h.mean()
+           << ",\"p50\":" << h.percentileUpperBound(0.50)
+           << ",\"p90\":" << h.percentileUpperBound(0.90)
+           << ",\"p99\":" << h.percentileUpperBound(0.99)
+           << ",\"max\":" << h.max() << "}";
+    };
+    hist("fenceStall", fenceStall);
+    hist("epochDuration", epochDuration);
+    os << "}";
     return os.str();
 }
 

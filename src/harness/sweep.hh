@@ -142,6 +142,16 @@ struct SweepSummary
     /** Sum of per-run wall times (CPU work), in milliseconds. */
     double totalWallMs = 0;
 
+    // --- Trace aggregates (zero when no run was traced) -------------------
+    /** Runs whose TraceSummary was enabled. */
+    unsigned tracedRuns = 0;
+    /** Total events published across traced runs. */
+    uint64_t traceEvents = 0;
+    /** fence_stall span durations merged across traced runs. */
+    Histogram fenceStall;
+    /** Epoch async-span durations merged across traced runs. */
+    Histogram epochDuration;
+
     /** One-line JSON object with every field above. */
     std::string toJson() const;
 };

@@ -168,6 +168,13 @@ CacheHierarchy::writebackBlock(Addr blockAddr, bool invalidate, Tick now,
                 level->invalidate(blockAddr);
         }
     }
+    if (tracer_ && tracer_->enabled(kTraceCache)) {
+        tracer_->span(kTraceCache, "writeback", now, ackTick,
+                      "\"addr\":" + std::to_string(blockAddr) +
+                          ",\"invalidate\":" +
+                          (invalidate ? "true" : "false") +
+                          ",\"dirty\":" + (dirty ? "true" : "false"));
+    }
     return true;
 }
 

@@ -21,6 +21,7 @@
 #include "mem/mem_system.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace sp
 {
@@ -33,6 +34,12 @@ class CacheHierarchy
 
     /** Attach the statistics sink (may be null). */
     void setStats(Stats *stats) { stats_ = stats; }
+
+    /**
+     * Attach the trace bus (may be null). Successful writebacks publish
+     * `writeback` spans covering the lookup-to-ack interval.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
     /**
      * Timed load.
@@ -90,6 +97,7 @@ class CacheHierarchy
     Cache l3_;
     MemSystem &mc_;
     Stats *stats_ = nullptr;
+    Tracer *tracer_ = nullptr;
 
     /**
      * Ensure the block is resident in L1D, filling from the closest level

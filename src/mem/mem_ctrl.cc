@@ -99,6 +99,15 @@ MemCtrl::insertWrite(Addr blockAddr, const uint8_t *data, bool force)
         return;
     }
     SP_ASSERT(force || wpqHasSpace(), "WPQ overflow on non-forced write");
+    if (force && !wpqHasSpace() &&
+        wpq_.size() + inflight_.size() >= 2 * cfg_.wpqEntries) {
+        // Evictions may transiently overfill the queue, but sustained
+        // 2x overfill means drain bandwidth is badly mismatched to the
+        // eviction rate -- worth one line, not one line per write.
+        SP_WARN_ONCE("WPQ overfilled to ", wpq_.size() + inflight_.size(),
+                     " entries (capacity ", cfg_.wpqEntries,
+                     ") by forced evictions");
+    }
     WpqEntry entry;
     entry.addr = blockAddr;
     entry.seq = nextSeq_++;
@@ -163,6 +172,15 @@ MemCtrl::startFlush(Tick now)
         stats_->maxInflightPcommits =
             std::max<uint64_t>(stats_->maxInflightPcommits, 1);
     }
+    if (tracer_ && tracer_->enabled(kTraceMem)) {
+        tracer_->asyncBegin(kTraceMem, "pcommit", traceIdBase_ + id, now,
+                            "\"marker\":" + std::to_string(flush.marker));
+        if (flush.complete) {
+            // Nothing older was pending: the span closes immediately.
+            tracer_->asyncEnd(kTraceMem, "pcommit", traceIdBase_ + id,
+                              now);
+        }
+    }
     return id;
 }
 
@@ -186,6 +204,10 @@ MemCtrl::updateFlushes(Tick now)
         --activeFlushes_;
         if (stats_)
             stats_->flushLatency.record(now - flush.startedAt);
+        if (tracer_ && tracer_->enabled(kTraceMem)) {
+            tracer_->asyncEnd(kTraceMem, "pcommit", traceIdBase_ + id,
+                              now);
+        }
         return false;
     };
     incompleteIds_.erase(std::remove_if(incompleteIds_.begin(),

@@ -23,6 +23,7 @@
 #include "mem/mem_image.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace sp
@@ -40,6 +41,20 @@ class MemCtrl
 
     /** Attach the statistics sink (may be null). */
     void setStats(Stats *stats) { stats_ = stats; }
+
+    /**
+     * Attach the trace bus (may be null). pcommit flushes publish
+     * `pcommit` async spans (issue -> drain-past-marker).
+     *
+     * @param idBase Added to this controller's flush ids so spans from
+     *               different controllers never share an async id.
+     */
+    void
+    setTracer(Tracer *tracer, uint64_t idBase = 0)
+    {
+        tracer_ = tracer;
+        traceIdBase_ = idBase;
+    }
 
     /**
      * Advance the controller's internal timeline to `now`, draining as
@@ -139,6 +154,8 @@ class MemCtrl
     MemConfig cfg_;
     MemImage &durable_;
     Stats *stats_ = nullptr;
+    Tracer *tracer_ = nullptr;
+    uint64_t traceIdBase_ = 0;
 
     std::deque<WpqEntry> wpq_;
     /** Writes on the device; in-order dispatch keeps doneAt monotone. */

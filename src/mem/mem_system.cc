@@ -31,6 +31,13 @@ MemSystem::setStats(Stats *stats)
 }
 
 void
+MemSystem::setTracer(Tracer *tracer)
+{
+    for (size_t i = 0; i < ctrls_.size(); ++i)
+        ctrls_[i]->setTracer(tracer, static_cast<uint64_t>(i + 1) << 32);
+}
+
+void
 MemSystem::advanceTo(Tick now)
 {
     for (auto &ctrl : ctrls_)

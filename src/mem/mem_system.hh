@@ -38,6 +38,13 @@ class MemSystem
     /** Attach the statistics sink (may be null). */
     void setStats(Stats *stats);
 
+    /**
+     * Attach the trace bus (may be null), fanning out to every
+     * controller with a per-controller async-id base so pcommit spans
+     * from different controllers never collide.
+     */
+    void setTracer(Tracer *tracer);
+
     /** Advance every controller's timeline to `now`. */
     void advanceTo(Tick now);
 

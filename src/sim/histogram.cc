@@ -26,6 +26,19 @@ Histogram::record(uint64_t value)
     max_ = std::max(max_, value);
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.samples_ == 0)
+        return;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    samples_ += other.samples_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 Histogram::mean() const
 {

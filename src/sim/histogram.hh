@@ -40,6 +40,9 @@ class Histogram
     /** Render an ASCII bar chart of the non-empty buckets. */
     void print(std::ostream &os, const std::string &prefix = "") const;
 
+    /** Fold another histogram's samples into this one (sweep totals). */
+    void merge(const Histogram &other);
+
     /** Forget everything. */
     void reset();
 

@@ -1,0 +1,604 @@
+#include "sim/trace.hh"
+
+#include <cctype>
+#include <cstring>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+namespace
+{
+
+struct CategoryInfo
+{
+    uint32_t bit;
+    const char *name;
+    /** Chrome trace tid this category's events render on. */
+    int tid;
+};
+
+constexpr CategoryInfo kCategories[] = {
+    {kTraceRetire, "retire", 1},   {kTraceSpec, "spec", 2},
+    {kTraceEpoch, "epoch", 3},     {kTraceSsb, "ssb", 4},
+    {kTraceCache, "cache", 5},     {kTraceMem, "mem", 6},
+    {kTraceCounters, "counters", 7},
+};
+
+int
+tidOf(uint32_t cat)
+{
+    for (const CategoryInfo &info : kCategories) {
+        if (info.bit & cat)
+            return info.tid;
+    }
+    return 0;
+}
+
+} // namespace
+
+const char *
+traceCategoryName(uint32_t bit)
+{
+    for (const CategoryInfo &info : kCategories) {
+        if (info.bit == bit)
+            return info.name;
+    }
+    return "?";
+}
+
+uint32_t
+parseTraceCategories(const std::string &list)
+{
+    uint32_t mask = 0;
+    std::istringstream in(list);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+        if (token.empty())
+            continue;
+        if (token == "all") {
+            mask |= kTraceAll;
+            continue;
+        }
+        if (token == "default") {
+            mask |= kTraceDefault;
+            continue;
+        }
+        if (token == "none")
+            continue;
+        bool matched = false;
+        for (const CategoryInfo &info : kCategories) {
+            if (token == info.name) {
+                mask |= info.bit;
+                matched = true;
+            }
+        }
+        if (!matched)
+            SP_FATAL("unknown trace category '", token,
+                     "' (try retire,spec,epoch,ssb,cache,mem,counters,"
+                     "all,default)");
+    }
+    return mask;
+}
+
+// --------------------------------------------------------------------------
+// Tracer
+// --------------------------------------------------------------------------
+
+Tracer::Tracer(TraceOptions opts) : opts_(opts)
+{
+    if (opts_.retainEvents && opts_.categories != 0)
+        events_.reserve(4096);
+}
+
+void
+Tracer::emitText(const TraceEvent &event)
+{
+    // The classic OooCore::setTraceSink line format, kept so the
+    // pipeline_trace example and its tests read the same story.
+    const char *name = event.name;
+    if (std::strcmp(name, "retire_spec") == 0)
+        name = "retire*";
+    else if (std::strcmp(name, "retire") == 0)
+        name = "retire ";
+    *textSink_ << "[" << std::setw(8) << event.tick << "] " << name;
+    if (event.kind == TraceKind::kSpan)
+        *textSink_ << " dur=" << event.dur;
+    if (event.kind == TraceKind::kCounter)
+        *textSink_ << " = " << event.id;
+    if (!event.args.empty())
+        *textSink_ << " {" << event.args << "}";
+    *textSink_ << "\n";
+}
+
+void
+Tracer::noteForSummary(const TraceEvent &event)
+{
+    summary_.enabled = true;
+    ++summary_.events;
+    switch (event.kind) {
+      case TraceKind::kInstant:
+        if (std::strcmp(event.name, "ABORT") == 0)
+            ++summary_.aborts;
+        else if (std::strcmp(event.name, "ssb_forward") == 0)
+            ++summary_.ssbForwards;
+        else if (std::strcmp(event.name, "bloom_fp") == 0)
+            ++summary_.bloomFalsePositives;
+        break;
+      case TraceKind::kSpan:
+        if (std::strcmp(event.name, "fence_stall") == 0)
+            summary_.fenceStall.record(event.dur);
+        break;
+      case TraceKind::kAsyncBegin:
+        if (std::strcmp(event.name, "epoch") == 0)
+            ++summary_.epochsBegun;
+        break;
+      case TraceKind::kAsyncEnd: {
+        if (std::strcmp(event.name, "epoch") == 0)
+            ++summary_.epochsEnded;
+        std::string key =
+            std::string(event.name) + ":" + std::to_string(event.id);
+        auto it = openAsync_.find(key);
+        if (it == openAsync_.end())
+            break;
+        Tick dur = event.tick >= it->second ? event.tick - it->second : 0;
+        openAsync_.erase(it);
+        if (std::strcmp(event.name, "epoch") == 0)
+            summary_.epochDuration.record(dur);
+        else if (std::strcmp(event.name, "pcommit") == 0)
+            summary_.pcommitLatency.record(dur);
+        break;
+      }
+      case TraceKind::kCounter:
+        ++summary_.counterSamples;
+        break;
+    }
+}
+
+void
+Tracer::publish(TraceEvent event)
+{
+    if (event.kind == TraceKind::kAsyncBegin) {
+        openAsync_.emplace(
+            std::string(event.name) + ":" + std::to_string(event.id),
+            event.tick);
+    }
+    noteForSummary(event);
+    if (textSink_)
+        emitText(event);
+    if (!opts_.retainEvents)
+        return;
+    if (events_.size() >= opts_.maxEvents) {
+        ++summary_.dropped;
+        SP_WARN_ONCE("trace event cap (", opts_.maxEvents,
+                     ") reached; further events summarized but not "
+                     "retained for export");
+        return;
+    }
+    events_.push_back(std::move(event));
+}
+
+void
+Tracer::instant(uint32_t cat, const char *name, Tick tick, std::string args)
+{
+    if (!enabled(cat))
+        return;
+    TraceEvent e;
+    e.tick = tick;
+    e.kind = TraceKind::kInstant;
+    e.cat = cat;
+    e.name = name;
+    e.args = std::move(args);
+    publish(std::move(e));
+}
+
+void
+Tracer::span(uint32_t cat, const char *name, Tick begin, Tick end,
+             std::string args)
+{
+    if (!enabled(cat))
+        return;
+    TraceEvent e;
+    e.tick = begin;
+    e.dur = end >= begin ? end - begin : 0;
+    e.kind = TraceKind::kSpan;
+    e.cat = cat;
+    e.name = name;
+    e.args = std::move(args);
+    publish(std::move(e));
+}
+
+void
+Tracer::asyncBegin(uint32_t cat, const char *name, uint64_t id, Tick tick,
+                   std::string args)
+{
+    if (!enabled(cat))
+        return;
+    TraceEvent e;
+    e.tick = tick;
+    e.id = id;
+    e.kind = TraceKind::kAsyncBegin;
+    e.cat = cat;
+    e.name = name;
+    e.args = std::move(args);
+    publish(std::move(e));
+}
+
+void
+Tracer::asyncEnd(uint32_t cat, const char *name, uint64_t id, Tick tick,
+                 std::string args)
+{
+    if (!enabled(cat))
+        return;
+    TraceEvent e;
+    e.tick = tick;
+    e.id = id;
+    e.kind = TraceKind::kAsyncEnd;
+    e.cat = cat;
+    e.name = name;
+    e.args = std::move(args);
+    publish(std::move(e));
+}
+
+void
+Tracer::counter(uint32_t cat, const char *name, Tick tick, uint64_t value)
+{
+    if (!enabled(cat))
+        return;
+    TraceEvent e;
+    e.tick = tick;
+    e.id = value;
+    e.kind = TraceKind::kCounter;
+    e.cat = cat;
+    e.name = name;
+    publish(std::move(e));
+}
+
+// --------------------------------------------------------------------------
+// Exporters
+// --------------------------------------------------------------------------
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"specpersist\"}}";
+    uint32_t used = 0;
+    for (const TraceEvent &event : events_)
+        used |= event.cat;
+    for (const CategoryInfo &info : kCategories) {
+        if (!(used & info.bit))
+            continue;
+        os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << info.tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << info.name << "\"}}";
+    }
+    for (const TraceEvent &event : events_) {
+        os << ",\n{\"name\":\"" << event.name << "\",\"cat\":\""
+           << traceCategoryName(event.cat) << "\",\"pid\":0,\"tid\":"
+           << tidOf(event.cat) << ",\"ts\":" << event.tick;
+        switch (event.kind) {
+          case TraceKind::kInstant:
+            os << ",\"ph\":\"i\",\"s\":\"t\"";
+            break;
+          case TraceKind::kSpan:
+            os << ",\"ph\":\"X\",\"dur\":" << event.dur;
+            break;
+          case TraceKind::kAsyncBegin:
+            os << ",\"ph\":\"b\",\"id\":" << event.id;
+            break;
+          case TraceKind::kAsyncEnd:
+            os << ",\"ph\":\"e\",\"id\":" << event.id;
+            break;
+          case TraceKind::kCounter:
+            os << ",\"ph\":\"C\"";
+            break;
+        }
+        os << ",\"args\":{";
+        if (event.kind == TraceKind::kCounter) {
+            os << "\"value\":" << event.id;
+        } else {
+            os << event.args;
+        }
+        os << "}}";
+    }
+    os << "\n]}\n";
+}
+
+void
+Tracer::writeCounterCsv(std::ostream &os) const
+{
+    // Column order = first-seen track order; rows = distinct sample
+    // ticks, forward-filled so every row is a complete snapshot.
+    std::vector<const char *> columns;
+    auto columnOf = [&](const char *name) {
+        for (size_t i = 0; i < columns.size(); ++i) {
+            if (std::strcmp(columns[i], name) == 0)
+                return i;
+        }
+        columns.push_back(name);
+        return columns.size() - 1;
+    };
+    // tick -> (column -> value); std::map keeps ticks sorted even if
+    // publishers interleave out of order.
+    std::map<Tick, std::vector<std::pair<size_t, uint64_t>>> rows;
+    for (const TraceEvent &event : events_) {
+        if (event.kind != TraceKind::kCounter)
+            continue;
+        rows[event.tick].emplace_back(columnOf(event.name), event.id);
+    }
+    os << "tick";
+    for (const char *name : columns)
+        os << "," << name;
+    os << "\n";
+    std::vector<std::string> last(columns.size());
+    for (const auto &[tick, samples] : rows) {
+        for (const auto &[col, value] : samples)
+            last[col] = std::to_string(value);
+        os << tick;
+        for (const std::string &value : last)
+            os << "," << value;
+        os << "\n";
+    }
+}
+
+// --------------------------------------------------------------------------
+// Summary
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+void
+histJson(std::ostream &os, const char *name, const Histogram &h)
+{
+    os << "\"" << name << "\":{\"n\":" << h.samples()
+       << ",\"mean\":" << h.mean() << ",\"p50\":"
+       << h.percentileUpperBound(0.50) << ",\"p90\":"
+       << h.percentileUpperBound(0.90) << ",\"p99\":"
+       << h.percentileUpperBound(0.99) << ",\"max\":" << h.max() << "}";
+}
+
+} // namespace
+
+std::string
+TraceSummary::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"events\":" << events << ",\"dropped\":" << dropped
+       << ",\"counterSamples\":" << counterSamples
+       << ",\"aborts\":" << aborts << ",\"ssbForwards\":" << ssbForwards
+       << ",\"bloomFalsePositives\":" << bloomFalsePositives
+       << ",\"epochsBegun\":" << epochsBegun
+       << ",\"epochsEnded\":" << epochsEnded << ",";
+    histJson(os, "fenceStall", fenceStall);
+    os << ",";
+    histJson(os, "epochDuration", epochDuration);
+    os << ",";
+    histJson(os, "pcommitLatency", pcommitLatency);
+    os << "}";
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// JSON validity check (no external dependencies)
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+/** Tiny recursive-descent JSON parser; validates, never builds a tree. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        ok_ = true;
+        pos_ = 0;
+        skipWs();
+        value();
+        skipWs();
+        if (ok_ && pos_ != text_.size())
+            fail("trailing content");
+        if (!ok_ && error)
+            *error = reason_ + " at byte " + std::to_string(errPos_);
+        return ok_;
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+    std::string reason_;
+    size_t errPos_ = 0;
+
+    void
+    fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            reason_ = why;
+            errPos_ = pos_;
+        }
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return atEnd() ? '\0' : text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                            text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    literal(const char *word)
+    {
+        size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0) {
+            fail("bad literal");
+            return;
+        }
+        pos_ += len;
+    }
+
+    void
+    string()
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return;
+        }
+        while (!atEnd()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return;
+            if (c == '\\') {
+                if (atEnd()) {
+                    fail("bad escape");
+                    return;
+                }
+                char esc = text_[pos_++];
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (atEnd() || !std::isxdigit(
+                                           static_cast<unsigned char>(
+                                               text_[pos_]))) {
+                            fail("bad \\u escape");
+                            return;
+                        }
+                        ++pos_;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", esc)) {
+                    fail("bad escape char");
+                    return;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("control char in string");
+                return;
+            }
+        }
+        fail("unterminated string");
+    }
+
+    void
+    number()
+    {
+        consume('-');
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+            fail("expected digit");
+            return;
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (consume('.')) {
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("expected fraction digit");
+                return;
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("expected exponent digit");
+                return;
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+    }
+
+    void
+    value()
+    {
+        if (!ok_)
+            return;
+        skipWs();
+        char c = peek();
+        if (c == '{') {
+            ++pos_;
+            skipWs();
+            if (consume('}'))
+                return;
+            for (;;) {
+                skipWs();
+                string();
+                skipWs();
+                if (!consume(':')) {
+                    fail("expected ':'");
+                    return;
+                }
+                value();
+                if (!ok_)
+                    return;
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return;
+                fail("expected ',' or '}'");
+                return;
+            }
+        } else if (c == '[') {
+            ++pos_;
+            skipWs();
+            if (consume(']'))
+                return;
+            for (;;) {
+                value();
+                if (!ok_)
+                    return;
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return;
+                fail("expected ',' or ']'");
+                return;
+            }
+        } else if (c == '"') {
+            string();
+        } else if (c == 't') {
+            literal("true");
+        } else if (c == 'f') {
+            literal("false");
+        } else if (c == 'n') {
+            literal("null");
+        } else {
+            number();
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonIsValid(const std::string &text, std::string *error)
+{
+    return JsonChecker(text).run(error);
+}
+
+} // namespace sp

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Structured tracing and time-series instrumentation for the SP pipeline.
+ *
+ * The paper's whole argument is about *when* things happen -- retirement
+ * stalling at an sfence, pcommit latency overlapping with speculative
+ * epochs, SSB occupancy climbing until it backpressures. The Stats struct
+ * answers "how much"; this event bus answers "when". Components publish
+ * TraceEvents (instants, duration spans, async spans, counter samples)
+ * to a per-run Tracer; exporters turn the stream into Chrome trace-event
+ * JSON (loadable in ui.perfetto.dev) or a CSV time series, and a
+ * TraceSummary condenses it into stall/epoch/pcommit latency histograms
+ * that flow through the sweep engine.
+ *
+ * Overhead contract: a null Tracer pointer (the default everywhere) is
+ * tracing *off* -- publishers guard with `tracer && tracer->enabled(cat)`
+ * before building any argument string, and no simulation state ever
+ * depends on the tracer, so a tracing-off run is bit-identical to a run
+ * with tracing on (guarded by tests/test_trace.cc). Each run owns its
+ * Tracer exclusively; nothing here is shared between sweep workers.
+ *
+ * Event schema (see docs/ARCHITECTURE.md "Observability"):
+ *   - instants: SPECULATE, COMMIT, ABORT, retire, retire_spec,
+ *     checkpoint_take, checkpoint_restore, ssb_forward, bloom_fp
+ *   - duration spans: fence_stall, writeback
+ *   - async spans (id-matched begin/end): epoch, pcommit
+ *   - counters: ssb_occupancy, rob, fetchq, lsq, storebuf,
+ *     inflight_pcommits, wpq, epochs
+ */
+
+#ifndef SP_SIM_TRACE_HH
+#define SP_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/histogram.hh"
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/**
+ * Event categories, a bitmask so a run can record only what it needs.
+ * kTraceRetire is by far the most voluminous (one event per retired
+ * non-ALU op) and is therefore excluded from kTraceDefault.
+ */
+enum TraceCategoryBits : uint32_t
+{
+    /** Per-retired-op instants (verbose; the old text-trace content). */
+    kTraceRetire = 1u << 0,
+    /** Speculation lifecycle (SPECULATE/COMMIT/ABORT) + fence stalls. */
+    kTraceSpec = 1u << 1,
+    /** Epoch async spans and checkpoint take/restore. */
+    kTraceEpoch = 1u << 2,
+    /** SSB occupancy counter + Bloom hit/false-positive instants. */
+    kTraceSsb = 1u << 3,
+    /** Cache writeback (clwb/clflush) spans. */
+    kTraceCache = 1u << 4,
+    /** Memory controller: pcommit issue->complete async spans. */
+    kTraceMem = 1u << 5,
+    /** Interval sampler counter tracks (ROB/fetchQ/LSQ/...). */
+    kTraceCounters = 1u << 6,
+
+    kTraceAll = (1u << 7) - 1,
+    kTraceDefault = kTraceAll & ~kTraceRetire,
+};
+
+/**
+ * Parse a comma-separated category list ("spec,epoch,counters", "all",
+ * "default"). Unknown names are fatal (user input).
+ */
+uint32_t parseTraceCategories(const std::string &list);
+
+/** Name of a single category bit (diagnostics / exporters). */
+const char *traceCategoryName(uint32_t bit);
+
+/** What kind of record a TraceEvent is. */
+enum class TraceKind : uint8_t
+{
+    kInstant,
+    kSpan,
+    kAsyncBegin,
+    kAsyncEnd,
+    kCounter,
+};
+
+/** One published event. `args` is a rendered JSON-object body fragment
+ *  (e.g. `"cursor":42,"first":true`) or empty; `name` must be a string
+ *  with static storage duration. For kCounter the sampled value is in
+ *  `id`; for async events `id` matches begin to end. */
+struct TraceEvent
+{
+    Tick tick = 0;
+    /** Span length; kSpan only. */
+    Tick dur = 0;
+    /** Async match id / counter value. */
+    uint64_t id = 0;
+    TraceKind kind = TraceKind::kInstant;
+    uint32_t cat = 0;
+    const char *name = "";
+    std::string args;
+};
+
+/** Tracing knobs, embeddable in a RunConfig (plain data, sweepable). */
+struct TraceOptions
+{
+    /** Categories to record; 0 disables tracing entirely. */
+    uint32_t categories = 0;
+    /** Interval-sampler period in cycles (counter tracks). */
+    unsigned sampleEvery = 64;
+    /**
+     * Keep the full event vector for export. When false only the
+     * incremental TraceSummary is maintained (O(1) memory -- what
+     * sweeps use); exporters then have nothing to write.
+     */
+    bool retainEvents = true;
+    /** Retained-event cap; beyond it events are dropped and counted. */
+    uint64_t maxEvents = 1u << 22;
+};
+
+/**
+ * Per-run condensed view of the event stream: stall-interval and
+ * latency histograms plus headline counts. Maintained incrementally by
+ * the Tracer, so it is exact even when events are not retained.
+ */
+struct TraceSummary
+{
+    /** True once any event was published (tracing was on). */
+    bool enabled = false;
+    /** Events published (including any beyond the retention cap). */
+    uint64_t events = 0;
+    /** Events dropped from the retained vector by the cap. */
+    uint64_t dropped = 0;
+    /** Counter samples across all tracks. */
+    uint64_t counterSamples = 0;
+    /** ABORT instants observed. */
+    uint64_t aborts = 0;
+    /** SSB store-to-load forwards / Bloom false positives observed. */
+    uint64_t ssbForwards = 0;
+    uint64_t bloomFalsePositives = 0;
+    /** Epoch async spans opened / closed. */
+    uint64_t epochsBegun = 0;
+    uint64_t epochsEnded = 0;
+
+    /** Durations of completed fence_stall spans. */
+    Histogram fenceStall;
+    /** Durations of epoch async spans (committed and aborted). */
+    Histogram epochDuration;
+    /** Durations of pcommit issue->complete async spans. */
+    Histogram pcommitLatency;
+
+    /** One-line JSON object (histograms as n/mean/p50/p90/p99/max). */
+    std::string toJson() const;
+};
+
+/**
+ * The event bus: a per-run, single-threaded event recorder.
+ *
+ * Publishing methods are no-ops for disabled categories, but callers
+ * should still guard with enabled() so argument strings are never built
+ * on the tracing-off path.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(TraceOptions opts = {});
+
+    /** Is any of the categories in `cat` being recorded? */
+    bool enabled(uint32_t cat) const { return (opts_.categories & cat) != 0; }
+
+    /** Interval-sampler period (cycles) the core should use. */
+    unsigned sampleEvery() const { return opts_.sampleEvery; }
+
+    /**
+     * Stream every published event as a human-readable text line to
+     * `os` (the old OooCore::setTraceSink format); null disables.
+     */
+    void setTextSink(std::ostream *os) { textSink_ = os; }
+
+    // --- Publishing -----------------------------------------------------
+    void instant(uint32_t cat, const char *name, Tick tick,
+                 std::string args = {});
+    /** A completed duration span [begin, end]. */
+    void span(uint32_t cat, const char *name, Tick begin, Tick end,
+              std::string args = {});
+    /** Open an async span; `id` must be unique per (name, open span). */
+    void asyncBegin(uint32_t cat, const char *name, uint64_t id, Tick tick,
+                    std::string args = {});
+    void asyncEnd(uint32_t cat, const char *name, uint64_t id, Tick tick,
+                  std::string args = {});
+    /** One sample on the counter track `name`. */
+    void counter(uint32_t cat, const char *name, Tick tick, uint64_t value);
+
+    // --- Results --------------------------------------------------------
+    /** Retained events, publish order (empty when !retainEvents). */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Condensed per-run summary (always exact). */
+    const TraceSummary &summary() const { return summary_; }
+
+    /**
+     * Chrome trace-event JSON (the "JSON Array Format" with metadata),
+     * loadable in ui.perfetto.dev or chrome://tracing. Ticks are
+     * exported as microseconds 1:1, so "1 us" in the UI is one cycle.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /**
+     * Counter tracks as a wide CSV time series: one column per track
+     * (first-seen order), one row per sample tick.
+     */
+    void writeCounterCsv(std::ostream &os) const;
+
+  private:
+    TraceOptions opts_;
+    std::ostream *textSink_ = nullptr;
+    std::vector<TraceEvent> events_;
+    TraceSummary summary_;
+    /** Open async spans: "name:id" -> begin tick (async events are
+     *  rare -- epochs and pcommits -- so the string key is cheap). */
+    std::unordered_map<std::string, Tick> openAsync_;
+
+    void publish(TraceEvent event);
+    void noteForSummary(const TraceEvent &event);
+    void emitText(const TraceEvent &event);
+};
+
+/**
+ * Minimal JSON well-formedness check (objects, arrays, strings, numbers,
+ * literals; no external dependencies). Used by tests to round-trip the
+ * Chrome exporter's output and by spcli to self-check written files.
+ *
+ * @param text Candidate document.
+ * @param error Optional: filled with a byte offset + reason on failure.
+ */
+bool jsonIsValid(const std::string &text, std::string *error = nullptr);
+
+} // namespace sp
+
+#endif // SP_SIM_TRACE_HH
