@@ -9,8 +9,29 @@
  *         [--sp] [--strict] [--ssb N] [--checkpoints N] [--banks N]
  *         [--wpq N] [--mcs N] [--ops N] [--init N] [--seed N]
  *         [--evict] [--probe-period N] [--crash-at CYCLE] [--csv]
+ *         [--inject-conflicts[=uniform|hotset|trail]]
+ *         [--conflict-period=N] [--poisson] [--watchdog[=N]]
+ *         [--torn-writes] [--jitter=N] [--max-cycles=N]
+ *         [--crash-matrix=N] [--campaign-csv=FILE]
  *         [--trace] [--trace=FILE] [--trace-csv=FILE]
  *         [--trace-categories=LIST] [--sample-every=N]
+ *
+ * Fault injection:
+ *   --inject-conflicts  arm the conflict adversary (optionally choosing
+ *                       its address policy; default uniform)
+ *   --conflict-period   mean cycles between adversary probes
+ *   --poisson           draw probe gaps from an exponential instead of a
+ *                       fixed period
+ *   --watchdog          arm the forward-progress watchdog (optionally
+ *                       setting the consecutive-abort threshold)
+ *   --torn-writes       on a crash, tear the write on the NVMM media at
+ *                       8-byte-word granularity
+ *   --jitter            add up to N cycles of per-write NVMM latency
+ *   --max-cycles        stop and report `max_cycles` after N cycles
+ *   --crash-matrix      run a fault campaign over N crash points (plus
+ *                       conflict cells when --inject-conflicts is given)
+ *                       for the selected workload, then exit
+ *   --campaign-csv      write the per-cell campaign record to FILE
  *
  * Tracing:
  *   --trace             stream human-readable event lines to stdout
@@ -27,6 +48,8 @@
  *   spcli --workload SS --mode logp --ops 5000
  *   spcli --workload LL --sp --crash-at 100000
  *   spcli --workload HM --sp --trace=hm.json --sample-every=16
+ *   spcli --workload BT --sp --inject-conflicts=trail --watchdog
+ *   spcli --workload LL --sp --crash-matrix=8 --torn-writes --jitter=64
  */
 
 #include <cstring>
@@ -36,6 +59,7 @@
 #include <sstream>
 #include <string>
 
+#include "harness/campaign.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
@@ -58,6 +82,10 @@ usage(const char *msg = nullptr)
         "             [--ssb N] [--checkpoints N] [--banks N] [--wpq N]\n"
         "             [--mcs N] [--ops N] [--init N] [--seed N] [--evict]\n"
         "             [--probe-period N] [--crash-at CYCLE] [--csv]\n"
+        "             [--inject-conflicts[=uniform|hotset|trail]]\n"
+        "             [--conflict-period=N] [--poisson] [--watchdog[=N]]\n"
+        "             [--torn-writes] [--jitter=N] [--max-cycles=N]\n"
+        "             [--crash-matrix=N] [--campaign-csv=FILE]\n"
         "             [--trace] [--trace=FILE] [--trace-csv=FILE]\n"
         "             [--trace-categories=LIST] [--sample-every=N]\n";
     std::exit(msg ? 1 : 0);
@@ -81,6 +109,8 @@ main(int argc, char **argv)
     RunConfig cfg = makeRunConfig(WorkloadKind::kLinkedList,
                                   PersistMode::kLogPSf, false);
     Tick crash_at = 0;
+    unsigned crash_matrix = 0;
+    std::string campaign_csv_file;
     bool csv = false;
     bool trace_text = false;
     std::string trace_file;
@@ -171,6 +201,37 @@ main(int argc, char **argv)
             cfg.probePeriod = parseNum(value().c_str(), "--probe-period");
         } else if (flag == "--crash-at") {
             crash_at = parseNum(value().c_str(), "--crash-at");
+        } else if (flag == "--inject-conflicts") {
+            cfg.sim.fault.conflict.enabled = true;
+            if (has_inline) {
+                cfg.sim.fault.conflict.policy =
+                    parseConflictPolicy(inline_value);
+            }
+        } else if (flag == "--conflict-period") {
+            cfg.sim.fault.conflict.enabled = true;
+            cfg.sim.fault.conflict.period =
+                parseNum(value().c_str(), "--conflict-period");
+        } else if (flag == "--poisson") {
+            cfg.sim.fault.conflict.timing = ConflictTiming::kPoisson;
+        } else if (flag == "--watchdog") {
+            cfg.sim.fault.watchdog.enabled = true;
+            if (has_inline) {
+                cfg.sim.fault.watchdog.abortThreshold =
+                    static_cast<unsigned>(
+                        parseNum(inline_value.c_str(), "--watchdog"));
+            }
+        } else if (flag == "--torn-writes") {
+            cfg.sim.fault.crash.tornWrites = true;
+        } else if (flag == "--jitter") {
+            cfg.sim.fault.crash.pcommitJitterCycles = static_cast<unsigned>(
+                parseNum(value().c_str(), "--jitter"));
+        } else if (flag == "--max-cycles") {
+            cfg.sim.maxCycles = parseNum(value().c_str(), "--max-cycles");
+        } else if (flag == "--crash-matrix") {
+            crash_matrix = static_cast<unsigned>(
+                parseNum(value().c_str(), "--crash-matrix"));
+        } else if (flag == "--campaign-csv") {
+            campaign_csv_file = value();
         } else if (flag == "--csv") {
             csv = true;
         } else if (flag == "--trace") {
@@ -188,6 +249,67 @@ main(int argc, char **argv)
         } else {
             usage(("unknown flag " + flag).c_str());
         }
+    }
+
+    if (crash_matrix != 0) {
+        // Campaign mode: a crash matrix (plus conflict cells when the
+        // adversary is armed) for the selected workload, with the
+        // mechanical pass/fail verdict the fault tests use.
+        CampaignOptions opts;
+        opts.kinds = {cfg.kind};
+        opts.crashPoints = crash_matrix;
+        opts.tornWrites = cfg.sim.fault.crash.tornWrites;
+        opts.pcommitJitterCycles = cfg.sim.fault.crash.pcommitJitterCycles;
+        if (cfg.sim.fault.conflict.enabled) {
+            opts.conflictPeriods = {cfg.sim.fault.conflict.period};
+            opts.policies = {cfg.sim.fault.conflict.policy};
+            opts.timing = cfg.sim.fault.conflict.timing;
+        } else {
+            opts.conflictPeriods.clear();
+        }
+        if (cfg.sim.fault.watchdog.enabled)
+            opts.watchdog = cfg.sim.fault.watchdog;
+        opts.seed = cfg.params.seed;
+        opts.initOps = cfg.params.initOps;
+        opts.simOps = cfg.params.simOps;
+
+        std::cout << "spcli: fault campaign, " << workloadKindName(cfg.kind)
+                  << ", " << crash_matrix << " crash points, seed "
+                  << opts.seed << "\n";
+        CampaignReport report = runFaultCampaign(opts);
+        for (const CampaignCellResult &cell : report.cells) {
+            std::cout << "  [" << campaignCellKindName(cell.kind) << "] "
+                      << cell.config << " -> "
+                      << runOutcomeName(cell.outcome);
+            if (cell.kind == CampaignCellKind::kCrash &&
+                cell.recoveryChecked) {
+                std::cout << (cell.recoveryMatched
+                                  ? ", recovered exactly"
+                                  : ", RECOVERY MISMATCH");
+            }
+            if (cell.kind == CampaignCellKind::kConflict) {
+                std::cout << ", " << cell.aborts << "/"
+                          << cell.conflictProbes << " probes aborted"
+                          << (cell.finalStateMatched
+                                  ? ", final image golden"
+                                  : ", FINAL IMAGE DIFFERS");
+            }
+            std::cout << "\n";
+        }
+        if (!campaign_csv_file.empty()) {
+            std::ofstream out(campaign_csv_file);
+            if (!out) {
+                std::cerr << "spcli: cannot write " << campaign_csv_file
+                          << "\n";
+                return 1;
+            }
+            report.writeCsv(out);
+            std::cout << "campaign: wrote " << campaign_csv_file << "\n";
+        }
+        std::cout << report.toJson() << "\n"
+                  << "campaign " << (report.passed() ? "PASSED" : "FAILED")
+                  << "\n";
+        return report.passed() ? 0 : 1;
     }
 
     std::cout << "spcli: " << workloadKindName(cfg.kind) << " "
@@ -217,6 +339,7 @@ main(int argc, char **argv)
     }
 
     RunResult r = runExperiment(cfg, crash_at, tracer.get());
+    std::cout << "outcome: " << runOutcomeName(r.outcome) << "\n\n";
 
     if (crash_at != 0 && !r.completed) {
         std::cout << "crashed at cycle " << crash_at << "; recovering the "

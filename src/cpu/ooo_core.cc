@@ -14,8 +14,9 @@ OooCore::OooCore(const SimConfig &cfg, Program &program,
       bloom_(cfg.sp.bloomBytes, cfg.sp.bloomHashes),
       epochs_(ssb_, checkpoints_, caches_, mc_, stats_,
               cfg.sp.strictCommit),
-      doneAt_(kRingSize, kTickNever)
+      doneAt_(kRingSize, kTickNever), governor_(cfg.fault.watchdog)
 {
+    governor_.attach(&stats_, nullptr);
 }
 
 // --------------------------------------------------------------------------
@@ -30,6 +31,7 @@ OooCore::setTracer(Tracer *tracer)
     epochs_.setTracer(tracer);
     caches_.setTracer(tracer);
     mc_.setTracer(tracer);
+    governor_.attach(&stats_, tracer);
     nextSampleAt_ = now_;
 }
 
@@ -396,6 +398,8 @@ OooCore::noteSpecStore(const DynOp &op)
     ssb_.push(entry, now_);
     bloom_.insert(op.op.addr);
     blt_.record(op.op.addr);
+    if (injector_)
+        injector_->noteSpecWrite(op.op.addr);
     ++stats_.ssbEnqueues;
     stats_.ssbMaxOccupancy =
         std::max<uint64_t>(stats_.ssbMaxOccupancy, ssb_.size());
@@ -519,12 +523,15 @@ OooCore::retireFence(const DynOp &head)
         flushes_.clear();
         countRetired(head);
         popHead();
+        governor_.noteFenceRetired(now_);
         return true;
     }
 
-    // Blocked. Speculate if this fence waits on an outstanding pcommit.
-    if (cfg_.sp.enabled && anyFlushOutstanding() &&
-        triggerSpeculation(head)) {
+    // Blocked. Speculate if this fence waits on an outstanding pcommit
+    // and the forward-progress watchdog permits re-entry (after an abort
+    // storm, waiting here non-speculatively IS the fallback semantics).
+    if (cfg_.sp.enabled && governor_.speculationAllowed(now_) &&
+        anyFlushOutstanding() && triggerSpeculation(head)) {
         countRetired(head);
         popHead();
         return true;
@@ -781,6 +788,7 @@ OooCore::maybeExitSpeculation()
     blt_.clear();
     specMode_ = false;
     epochHasPersistOps_ = false;
+    governor_.noteCommit(now_);
     flags_.progress = true;
 }
 
@@ -814,6 +822,7 @@ OooCore::abortSpeculation()
     // Re-establish the ordering the speculatively retired fence promised:
     // hold retirement until every pre-speculation persist completes.
     postAbortDrain_ = true;
+    governor_.noteAbort(now_);
 }
 
 void
@@ -838,6 +847,17 @@ OooCore::processProbes()
         probes_.erase(probes_.begin());
         if (specMode_ && blt_.probe(addr))
             abortSpeculation();
+    }
+    if (injector_) {
+        // Campaign adversary. Drawing even while non-speculative keeps
+        // the probe schedule a pure function of (seed, time), not of
+        // how long each speculative episode happened to last.
+        while (injector_->due(now_)) {
+            Addr addr = injector_->drawProbe(now_);
+            ++stats_.conflictProbes;
+            if (specMode_ && blt_.probe(addr))
+                abortSpeculation();
+        }
     }
 }
 
@@ -949,6 +969,12 @@ OooCore::nextEventTick() const
         consider(probes_.begin()->first);
     if (probePeriod_ != 0 && specMode_)
         consider(nextProbeAt_);
+    // Injector draws must happen on time even while idle (the schedule
+    // is absolute); the backoff expiry unblocks a stalled fence.
+    if (injector_)
+        consider(injector_->nextAt());
+    if (governor_.backoffUntil() > now_)
+        consider(governor_.backoffUntil());
     return next;
 }
 
@@ -994,7 +1020,12 @@ OooCore::runUntil(Tick cycleLimit)
             skipIdleCycles();
         }
         if (cfg_.maxCycles && now_ > cfg_.maxCycles) {
-            SP_FATAL("simulation exceeded maxCycles=", cfg_.maxCycles);
+            // Safety valve: report, don't kill the process. The caller
+            // (sweep / campaign) records this as RunOutcome::kMaxCycles
+            // so one runaway cell cannot take down a whole worker.
+            hitMaxCycles_ = true;
+            stats_.cycles = now_;
+            return false;
         }
     }
     stats_.cycles = now_;

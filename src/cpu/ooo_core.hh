@@ -45,6 +45,7 @@
 #include "core/epoch_manager.hh"
 #include "core/ssb.hh"
 #include "isa/program.hh"
+#include "sim/fault.hh"
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
 #include "sim/config.hh"
@@ -101,6 +102,24 @@ class OooCore
      */
     void enablePeriodicProbes(Tick period, Addr base, uint64_t rangeBytes,
                               uint64_t seed);
+
+    /**
+     * Attach an adversarial conflict injector (fault campaigns). The
+     * caller keeps ownership; null detaches. Injected probes behave
+     * exactly like scheduled external coherence probes but are drawn
+     * on-line by the injector's policy (which may track the core's own
+     * speculative writes).
+     */
+    void setConflictInjector(ConflictInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** True if runUntil() stopped because cfg.maxCycles was exceeded. */
+    bool hitMaxCycles() const { return hitMaxCycles_; }
+
+    /** Forward-progress watchdog state (diagnostics / tests). */
+    const SpecGovernor &governor() const { return governor_; }
 
     /**
      * Attach the structured trace bus (may be null = tracing off) and
@@ -232,6 +251,14 @@ class OooCore
     Addr probeBase_ = 0;
     uint64_t probeRange_ = 0;
     uint64_t probeRngState_ = 0;
+
+    // --- Fault injection & forward progress --------------------------------
+    /** Campaign-driven conflict adversary (not owned; null = off). */
+    ConflictInjector *injector_ = nullptr;
+    /** Abort-livelock watchdog (constructed from cfg.fault.watchdog). */
+    SpecGovernor governor_;
+    /** runUntil() stopped at the cfg.maxCycles safety valve. */
+    bool hitMaxCycles_ = false;
 
     // --- Per-cycle bookkeeping ----------------------------------------------
     struct CycleFlags

@@ -1,0 +1,388 @@
+#include "harness/campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "harness/sweep.hh"
+#include "pmem/recovery.hh"
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+const char *
+campaignCellKindName(CampaignCellKind kind)
+{
+    switch (kind) {
+      case CampaignCellKind::kCrash:
+        return "crash";
+      case CampaignCellKind::kConflict:
+        return "conflict";
+    }
+    return "?";
+}
+
+std::vector<WorkloadKind>
+campaignWorkloads()
+{
+    std::vector<WorkloadKind> kinds = allWorkloadKinds();
+    kinds.push_back(WorkloadKind::kAvlTreeIncremental);
+    return kinds;
+}
+
+namespace
+{
+
+/** Per-workload context every cell of that workload shares. */
+struct Prep
+{
+    RunConfig base;
+    /** Cycle count of the SP-enabled reference run (grid spacing). */
+    Tick refCycles = 0;
+    /** Generation the reference run's volatile state reached. */
+    uint64_t refGeneration = 0;
+    /** Final durable image hash of the golden non-speculative run. */
+    uint64_t goldenHash = 0;
+};
+
+/** One cell of the campaign grid, fully described before execution. */
+struct Cell
+{
+    CampaignCellKind kind;
+    size_t prepIndex;
+    RunConfig cfg;
+    Tick crashAt = 0;
+};
+
+/**
+ * Execute one crash cell: crash, recover (including interrupted
+ * double/triple-crash schedules), replay, compare.
+ */
+void
+runCrashCell(const Cell &cell, const Prep &prep, unsigned doubleCrashDraws,
+             CampaignCellResult &out)
+{
+    RunResult crashed = runExperiment(cell.cfg, cell.crashAt);
+    out.outcome = crashed.outcome;
+    out.cycles = crashed.stats.cycles;
+    out.aborts = crashed.stats.aborts;
+    out.conflictProbes = crashed.stats.conflictProbes;
+    out.watchdogDegradations = crashed.stats.watchdogDegradations;
+    if (crashed.outcome != RunOutcome::kCrashed)
+        return; // crashAt beyond completion etc.: nothing to recover
+
+    out.recoveryChecked = true;
+
+    MemImage direct = crashed.durable;
+    RecoveryResult rec = recoverImage(direct);
+    out.recoveredGeneration = Workload::generation(direct);
+    out.imageHash = direct.hash();
+
+    // Crash-during-recovery: a partial pass (logged_bit never cleared),
+    // possibly interrupted a second time, then a full pass must converge
+    // to exactly the image an uninterrupted recovery produced.
+    for (unsigned draw = 1; draw <= doubleCrashDraws; ++draw) {
+        MemImage partial = crashed.durable;
+        unsigned k = rec.entriesApplied
+            ? (draw * rec.entriesApplied) / (doubleCrashDraws + 1)
+            : 0;
+        recoverImageInterrupted(partial, k);
+        if (k > 1)
+            recoverImageInterrupted(partial, k / 2); // triple crash
+        recoverImage(partial);
+        if (partial.hash() != direct.hash()) {
+            out.error = "interrupted recovery diverged (draw " +
+                std::to_string(draw) + ", k=" + std::to_string(k) + ")";
+            return;
+        }
+    }
+
+    if (out.recoveredGeneration > prep.refGeneration) {
+        out.error = "recovered generation " +
+            std::to_string(out.recoveredGeneration) +
+            " exceeds the reference run's " +
+            std::to_string(prep.refGeneration);
+        return;
+    }
+
+    auto replay = makeWorkload(cell.cfg.kind, cell.cfg.params);
+    replay->setup();
+    replay->runFunctionalToGeneration(out.recoveredGeneration);
+    std::string why;
+    if (!replay->checkImage(direct, &why)) {
+        out.error = "recovered image invalid: " + why;
+        return;
+    }
+    if (replay->contents(direct) != replay->contents(replay->image())) {
+        out.error = "recovered contents differ from the replayed boundary";
+        return;
+    }
+    out.recoveryMatched = true;
+}
+
+/** Execute one conflict cell: run under the adversary, compare final
+ *  durable state against the golden non-speculative run. */
+void
+runConflictCell(const Cell &cell, const Prep &prep, CampaignCellResult &out)
+{
+    RunResult r = runExperiment(cell.cfg);
+    out.outcome = r.outcome;
+    out.cycles = r.stats.cycles;
+    out.aborts = r.stats.aborts;
+    out.conflictProbes = r.stats.conflictProbes;
+    out.watchdogDegradations = r.stats.watchdogDegradations;
+    if (!r.completed)
+        return; // kMaxCycles: liveness failure, finalStateMatched stays false
+    out.imageHash = r.durable.hash();
+    out.finalStateMatched = out.imageHash == prep.goldenHash;
+    if (!out.finalStateMatched)
+        out.error = "final durable image differs from the golden run";
+}
+
+} // namespace
+
+CampaignReport
+runFaultCampaign(const CampaignOptions &opts)
+{
+    SP_ASSERT(!opts.kinds.empty(), "campaign needs at least one workload");
+    SweepOptions sweepOpts;
+    sweepOpts.workers = opts.workers;
+    SweepEngine engine(sweepOpts);
+
+    // ---- Phase 1: reference (SP on) + golden (SP off) runs per workload.
+    std::vector<Prep> preps(opts.kinds.size());
+    std::vector<RunConfig> prepCfgs;
+    for (size_t i = 0; i < opts.kinds.size(); ++i) {
+        Prep &prep = preps[i];
+        prep.base.kind = opts.kinds[i];
+        prep.base.params.seed = opts.seed;
+        prep.base.params.initOps = opts.initOps;
+        prep.base.params.simOps = opts.simOps;
+        prep.base.params.mode = PersistMode::kLogPSf;
+        prep.base.sim.sp.enabled = true;
+
+        prepCfgs.push_back(prep.base); // reference
+        RunConfig golden = prep.base;
+        golden.sim.sp.enabled = false;
+        prepCfgs.push_back(golden);
+    }
+    std::vector<SweepRunResult> prepRuns = engine.run(prepCfgs);
+    for (size_t i = 0; i < preps.size(); ++i) {
+        const SweepRunResult &ref = prepRuns[2 * i];
+        const SweepRunResult &golden = prepRuns[2 * i + 1];
+        SP_ASSERT(ref.ok && golden.ok, "campaign reference run threw: ",
+                  ref.ok ? golden.error : ref.error);
+        preps[i].refCycles = ref.run.stats.cycles;
+        preps[i].refGeneration = ref.run.functionalGeneration;
+        preps[i].goldenHash = golden.run.durable.hash();
+    }
+
+    // ---- Phase 2: build the cell grid (fixed order = deterministic
+    // seeds and indices regardless of how the pool schedules them).
+    std::vector<Cell> grid;
+    for (size_t p = 0; p < preps.size(); ++p) {
+        const Prep &prep = preps[p];
+
+        if (opts.crashPoints > 0) {
+            // Log-spaced crash grid over [64, refCycles-1]: dense where
+            // log initialization and early transactions live.
+            double lo = std::log(64.0);
+            double hi = std::log(static_cast<double>(
+                prep.refCycles > 65 ? prep.refCycles - 1 : 65));
+            for (unsigned i = 0; i < opts.crashPoints; ++i) {
+                double t = opts.crashPoints > 1
+                    ? lo + (hi - lo) * i / (opts.crashPoints - 1)
+                    : (lo + hi) / 2;
+                Cell cell;
+                cell.kind = CampaignCellKind::kCrash;
+                cell.prepIndex = p;
+                cell.cfg = prep.base;
+                cell.cfg.sim.fault.crash.tornWrites = opts.tornWrites;
+                cell.cfg.sim.fault.crash.pcommitJitterCycles =
+                    opts.pcommitJitterCycles;
+                cell.cfg.sim.fault.crash.seed =
+                    opts.seed * 1000003 + grid.size();
+                cell.crashAt = static_cast<Tick>(std::exp(t));
+                grid.push_back(cell);
+            }
+        }
+
+        for (Tick period : opts.conflictPeriods) {
+            for (ConflictPolicy policy : opts.policies) {
+                Cell cell;
+                cell.kind = CampaignCellKind::kConflict;
+                cell.prepIndex = p;
+                cell.cfg = prep.base;
+                cell.cfg.sim.fault.conflict.enabled = true;
+                cell.cfg.sim.fault.conflict.policy = policy;
+                cell.cfg.sim.fault.conflict.timing = opts.timing;
+                cell.cfg.sim.fault.conflict.period = period;
+                cell.cfg.sim.fault.conflict.seed =
+                    opts.seed * 1000003 + grid.size();
+                cell.cfg.sim.fault.watchdog = opts.watchdog;
+                cell.cfg.sim.maxCycles =
+                    prep.refCycles * opts.maxCyclesFactor;
+                grid.push_back(cell);
+            }
+        }
+    }
+
+    // ---- Phase 3: execute every cell on the pool. Each task writes its
+    // own pre-sized slot, so no locking on the campaign result path.
+    CampaignReport report;
+    report.cells.resize(grid.size());
+    std::vector<SweepRunResult> slots =
+        engine.runTasks(grid.size(), [&](size_t i) {
+            const Cell &cell = grid[i];
+            CampaignCellResult &out = report.cells[i];
+            out.index = i;
+            out.kind = cell.kind;
+            out.workload = cell.cfg.kind;
+            out.config = describeRunConfig(cell.cfg);
+            if (cell.kind == CampaignCellKind::kCrash) {
+                out.crashAt = cell.crashAt;
+                out.config += " crashAt=" + std::to_string(cell.crashAt);
+                runCrashCell(cell, preps[cell.prepIndex],
+                             opts.doubleCrashDraws, out);
+            } else {
+                runConflictCell(cell, preps[cell.prepIndex], out);
+            }
+            return RunResult{};
+        });
+
+    // ---- Phase 4: merge exceptions + wall time, aggregate.
+    for (size_t i = 0; i < grid.size(); ++i) {
+        CampaignCellResult &cell = report.cells[i];
+        cell.wallMs = slots[i].wallMs;
+        if (!slots[i].ok) {
+            cell.outcome = RunOutcome::kException;
+            cell.error = slots[i].error;
+        }
+        if (cell.kind == CampaignCellKind::kCrash)
+            ++report.crashCells;
+        else
+            ++report.conflictCells;
+        switch (cell.outcome) {
+          case RunOutcome::kException:
+            ++report.exceptionCells;
+            break;
+          case RunOutcome::kMaxCycles:
+            ++report.maxCyclesCells;
+            break;
+          default:
+            break;
+        }
+        if (cell.recoveryChecked) {
+            ++report.recoveryChecked;
+            if (cell.recoveryMatched)
+                ++report.recoveryMatched;
+        }
+        if (cell.kind == CampaignCellKind::kConflict &&
+            cell.outcome != RunOutcome::kException) {
+            ++report.conflictChecked;
+            if (cell.finalStateMatched)
+                ++report.conflictMatched;
+        }
+        report.totalAborts += cell.aborts;
+        report.totalProbes += cell.conflictProbes;
+        report.totalWallMs += cell.wallMs;
+    }
+    return report;
+}
+
+bool
+CampaignReport::passed() const
+{
+    return exceptionCells == 0 && maxCyclesCells == 0 &&
+        recoveryMatched == recoveryChecked &&
+        conflictMatched == conflictChecked;
+}
+
+uint64_t
+CampaignReport::signature() const
+{
+    uint64_t h = 1469598103934665603ULL;
+    auto byte = [&h](uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    };
+    auto word = [&byte](uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    };
+    auto str = [&byte](const std::string &s) {
+        for (char c : s)
+            byte(static_cast<uint8_t>(c));
+        byte(0);
+    };
+    for (const CampaignCellResult &cell : cells) {
+        word(cell.index);
+        byte(static_cast<uint8_t>(cell.kind));
+        byte(static_cast<uint8_t>(cell.outcome));
+        str(cell.config);
+        str(cell.error);
+        word(cell.crashAt);
+        word(cell.cycles);
+        word(cell.aborts);
+        word(cell.conflictProbes);
+        word(cell.watchdogDegradations);
+        byte(cell.recoveryChecked ? 1 : 0);
+        byte(cell.recoveryMatched ? 1 : 0);
+        word(cell.recoveredGeneration);
+        byte(cell.finalStateMatched ? 1 : 0);
+        word(cell.imageHash);
+    }
+    return h;
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"cells\":" << cells.size()
+       << ",\"crashCells\":" << crashCells
+       << ",\"conflictCells\":" << conflictCells
+       << ",\"exceptionCells\":" << exceptionCells
+       << ",\"maxCyclesCells\":" << maxCyclesCells
+       << ",\"recoveryChecked\":" << recoveryChecked
+       << ",\"recoveryMatched\":" << recoveryMatched
+       << ",\"conflictChecked\":" << conflictChecked
+       << ",\"conflictMatched\":" << conflictMatched
+       << ",\"totalAborts\":" << totalAborts
+       << ",\"totalProbes\":" << totalProbes
+       << ",\"totalWallMs\":" << totalWallMs
+       << ",\"passed\":" << (passed() ? "true" : "false")
+       << ",\"signature\":\"" << std::hex << signature() << std::dec
+       << "\"}";
+    return os.str();
+}
+
+void
+CampaignReport::writeCsv(std::ostream &os) const
+{
+    os << "index,kind,workload,outcome,crash_at,cycles,aborts,"
+          "probes,abort_rate,degradations,recovered_gen,recovery_ok,"
+          "final_match,image_hash\n";
+    for (const CampaignCellResult &cell : cells) {
+        double abortRate = cell.conflictProbes
+            ? static_cast<double>(cell.aborts) /
+                static_cast<double>(cell.conflictProbes)
+            : 0.0;
+        os << cell.index << "," << campaignCellKindName(cell.kind) << ","
+           << workloadKindName(cell.workload) << ","
+           << runOutcomeName(cell.outcome) << "," << cell.crashAt << ","
+           << cell.cycles << "," << cell.aborts << ","
+           << cell.conflictProbes << "," << abortRate << ","
+           << cell.watchdogDegradations << ","
+           << cell.recoveredGeneration << ","
+           << (cell.recoveryChecked ? (cell.recoveryMatched ? "1" : "0")
+                                    : "") << ","
+           << (cell.kind == CampaignCellKind::kConflict
+                   ? (cell.finalStateMatched ? "1" : "0")
+                   : "")
+           << "," << std::hex << cell.imageHash << std::dec << "\n";
+    }
+}
+
+} // namespace sp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fault-injection campaigns: adversarial conflict and crash matrices with
+ * mechanical pass/fail verdicts.
+ *
+ * A campaign turns the fault injectors (sim/fault.hh) into a repeatable
+ * experiment: for every workload it derives a reference run and a
+ * non-speculative golden run, then executes a grid of fault cells on the
+ * SweepEngine --
+ *
+ *  - crash cells: stop the machine at log-spaced cycles (optionally with
+ *    write-latency jitter and torn cache-line writes), run undo-log
+ *    recovery -- including interrupted double/triple-crash schedules --
+ *    and require the recovered image to equal a functional replay to the
+ *    recovered transaction boundary;
+ *
+ *  - conflict cells: run to completion under an injected-probe adversary
+ *    (policy x period grid) with the forward-progress watchdog armed,
+ *    and require completion plus a final durable image bit-identical
+ *    (MemImage::hash) to the golden non-speculative run's.
+ *
+ * Determinism is part of the contract: CampaignReport::signature() is a
+ * pure function of cell outcomes (wall time excluded), and identical
+ * options must produce identical signatures for any worker count.
+ */
+
+#ifndef SP_HARNESS_CAMPAIGN_HH
+#define SP_HARNESS_CAMPAIGN_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace sp
+{
+
+/** Which fault family a campaign cell exercises. */
+enum class CampaignCellKind : uint8_t
+{
+    kCrash,
+    kConflict,
+};
+
+const char *campaignCellKindName(CampaignCellKind kind);
+
+/**
+ * The workload set campaigns default to: the seven Table 1 benchmarks
+ * plus AT-inc (incremental logging), whose many small transactions put
+ * the most crash points inside transaction bodies.
+ */
+std::vector<WorkloadKind> campaignWorkloads();
+
+/** Everything that parameterizes one campaign. */
+struct CampaignOptions
+{
+    std::vector<WorkloadKind> kinds = campaignWorkloads();
+
+    // --- Crash axis -------------------------------------------------------
+    /** Log-spaced crash points per workload (0 disables crash cells). */
+    unsigned crashPoints = 6;
+    /** Tear in-flight NVMM writes at 8-byte granularity at the crash. */
+    bool tornWrites = true;
+    /** Max extra cycles of per-write NVMM latency jitter (0 = off). */
+    unsigned pcommitJitterCycles = 64;
+    /** Interrupted-recovery (double/triple-crash) schedules verified per
+     *  crash cell. */
+    unsigned doubleCrashDraws = 2;
+
+    // --- Conflict axis ----------------------------------------------------
+    /** Adversary inter-probe periods (0 entries disables conflict cells). */
+    std::vector<Tick> conflictPeriods = {400, 4000};
+    std::vector<ConflictPolicy> policies = {
+        ConflictPolicy::kUniform,
+        ConflictPolicy::kHotSet,
+        ConflictPolicy::kTrailWriter,
+    };
+    ConflictTiming timing = ConflictTiming::kPoisson;
+    /** Watchdog armed for conflict cells (liveness under the adversary). */
+    WatchdogConfig watchdog{true, 4, 256, 16384, 8};
+    /** Safety valve for conflict cells, as a multiple of the reference
+     *  run's cycle count. */
+    Tick maxCyclesFactor = 50;
+
+    // --- Shared -----------------------------------------------------------
+    /** Master seed; every injector seed derives from it and a cell index. */
+    uint64_t seed = 1;
+    /** SweepEngine workers (0 = automatic). */
+    unsigned workers = 0;
+    /** Workload sizing (small defaults: campaigns multiply runs). */
+    uint64_t initOps = 250;
+    uint64_t simOps = 25;
+};
+
+/** One executed campaign cell. */
+struct CampaignCellResult
+{
+    size_t index = 0;
+    CampaignCellKind kind = CampaignCellKind::kCrash;
+    WorkloadKind workload = WorkloadKind::kLinkedList;
+    /** describeRunConfig() of the cell (always filled). */
+    std::string config;
+    RunOutcome outcome = RunOutcome::kOk;
+    /** Exception what() when outcome == kException. */
+    std::string error;
+
+    Tick crashAt = 0;
+    Tick cycles = 0;
+    uint64_t aborts = 0;
+    uint64_t conflictProbes = 0;
+    uint64_t watchdogDegradations = 0;
+
+    // --- Crash cells ------------------------------------------------------
+    /** Recovery + replay comparison ran to a verdict. */
+    bool recoveryChecked = false;
+    /** Verdict: recovered image valid, equal to the replayed boundary,
+     *  and invariant under interrupted-recovery schedules. */
+    bool recoveryMatched = false;
+    uint64_t recoveredGeneration = 0;
+
+    // --- Conflict cells ---------------------------------------------------
+    /** Final durable image equals the golden non-speculative run's. */
+    bool finalStateMatched = false;
+
+    /** Hash of the recovered (crash) or final (conflict) durable image. */
+    uint64_t imageHash = 0;
+    /** Wall-clock time of the cell (excluded from signature()). */
+    double wallMs = 0;
+};
+
+/** Aggregate verdict of a campaign. */
+struct CampaignReport
+{
+    std::vector<CampaignCellResult> cells;
+
+    unsigned crashCells = 0;
+    unsigned conflictCells = 0;
+    unsigned exceptionCells = 0;
+    unsigned maxCyclesCells = 0;
+    unsigned recoveryChecked = 0;
+    unsigned recoveryMatched = 0;
+    unsigned conflictChecked = 0;
+    unsigned conflictMatched = 0;
+    uint64_t totalAborts = 0;
+    uint64_t totalProbes = 0;
+    double totalWallMs = 0;
+
+    /**
+     * The campaign's acceptance criterion: no exception or max-cycles
+     * cells, every crash cell recovered exactly, every conflict cell
+     * completed with a golden-identical final image.
+     */
+    bool passed() const;
+
+    /**
+     * Deterministic digest of every cell's outcome fields (wall time
+     * excluded). Identical options must yield identical signatures for
+     * any worker count -- the campaign determinism test compares these.
+     */
+    uint64_t signature() const;
+
+    /** One-line JSON summary (counts + signature + failures). */
+    std::string toJson() const;
+
+    /** Per-cell CSV (abort rates, recovery verdicts) for artifacts. */
+    void writeCsv(std::ostream &os) const;
+};
+
+/** Run a full campaign; cells execute in parallel on the SweepEngine. */
+CampaignReport runFaultCampaign(const CampaignOptions &opts);
+
+} // namespace sp
+
+#endif // SP_HARNESS_CAMPAIGN_HH

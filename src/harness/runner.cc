@@ -1,6 +1,8 @@
 #include "harness/runner.hh"
 
 #include <cstdlib>
+#include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "harness/sweep.hh"
@@ -9,14 +11,84 @@
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
 #include "pmem/layout.hh"
+#include "pmem/op_emitter.hh"
 #include "sim/logging.hh"
 
 namespace sp
 {
 
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::kOk:
+        return "ok";
+      case RunOutcome::kCrashed:
+        return "crashed";
+      case RunOutcome::kWatchdogDegraded:
+        return "watchdog_degraded";
+      case RunOutcome::kMaxCycles:
+        return "max_cycles";
+      case RunOutcome::kException:
+        return "exception";
+    }
+    return "unknown";
+}
+
+void
+validateRunConfig(const RunConfig &cfg)
+{
+    auto reject = [](const std::string &why) {
+        throw std::invalid_argument("invalid RunConfig: " + why);
+    };
+    if (cfg.sim.sp.enabled && cfg.sim.sp.ssbEntries == 0)
+        reject("sp.enabled requires ssbEntries > 0");
+    if (cfg.sim.sp.enabled && cfg.sim.sp.checkpoints == 0)
+        reject("sp.enabled requires checkpoints > 0");
+    if (cfg.sim.sp.enabled &&
+        (cfg.sim.sp.bloomBytes == 0 || cfg.sim.sp.bloomHashes == 0))
+        reject("sp.enabled requires a non-empty Bloom filter");
+    if (cfg.sim.mem.nvmmBanks == 0)
+        reject("mem.nvmmBanks must be > 0");
+    if (cfg.sim.mem.wpqEntries == 0)
+        reject("mem.wpqEntries must be > 0");
+    if (cfg.sim.fault.conflict.enabled && cfg.sim.fault.conflict.period == 0)
+        reject("conflict injection requires period > 0");
+}
+
+std::string
+describeRunConfig(const RunConfig &cfg)
+{
+    std::ostringstream os;
+    os << workloadKindName(cfg.kind) << "/" << persistModeName(cfg.params.mode)
+       << " sp=" << (cfg.sim.sp.enabled ? 1 : 0)
+       << " ssb=" << cfg.sim.sp.ssbEntries
+       << " seed=" << cfg.params.seed
+       << " ops=" << cfg.params.simOps;
+    const FaultConfig &fault = cfg.sim.fault;
+    if (fault.conflict.enabled) {
+        os << " conflict=" << conflictPolicyName(fault.conflict.policy)
+           << "/" << conflictTimingName(fault.conflict.timing)
+           << " period=" << fault.conflict.period
+           << " cseed=" << fault.conflict.seed;
+    }
+    if (fault.crash.tornWrites)
+        os << " torn=1";
+    if (fault.crash.pcommitJitterCycles)
+        os << " jitter=" << fault.crash.pcommitJitterCycles;
+    if (fault.watchdog.enabled)
+        os << " watchdog=" << fault.watchdog.abortThreshold;
+    if (cfg.sim.maxCycles)
+        os << " maxCycles=" << cfg.sim.maxCycles;
+    if (cfg.probePeriod)
+        os << " probePeriod=" << cfg.probePeriod;
+    return os.str();
+}
+
 RunResult
 runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
 {
+    validateRunConfig(cfg);
     RunResult result;
 
     // Per-run tracer, created only when the config asks for one and the
@@ -41,6 +113,10 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
     CacheHierarchy caches(cfg.sim, mc);
     mc.setStats(&result.stats);
     caches.setStats(&result.stats);
+    if (cfg.sim.fault.crash.pcommitJitterCycles != 0) {
+        mc.setWriteJitter(cfg.sim.fault.crash.pcommitJitterCycles,
+                          cfg.sim.fault.crash.seed);
+    }
 
     OooCore core(cfg.sim, workload->program(), caches, mc,
                  result.stats);
@@ -53,20 +129,44 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
                                   kHeapBase + (4u << 20) - kMetaBase,
                                   cfg.probeSeed);
     }
-    if (crashAtCycle != 0) {
-        result.completed = core.runUntil(crashAtCycle);
+    std::unique_ptr<ConflictInjector> injector;
+    if (cfg.sim.fault.conflict.enabled) {
+        // Default footprint: the same hot region periodic probes target.
+        Addr base = cfg.sim.fault.conflict.footprintBase
+            ? cfg.sim.fault.conflict.footprintBase
+            : kMetaBase;
+        uint64_t bytes = cfg.sim.fault.conflict.footprintBytes
+            ? cfg.sim.fault.conflict.footprintBytes
+            : kHeapBase + (4u << 20) - kMetaBase;
+        injector = std::make_unique<ConflictInjector>(
+            cfg.sim.fault.conflict, base, bytes);
+        core.setConflictInjector(injector.get());
+    }
+
+    Tick limit = crashAtCycle != 0 ? crashAtCycle : kTickNever;
+    result.completed = core.runUntil(limit);
+    if (result.completed) {
+        result.outcome = result.stats.watchdogDegradations > 0
+            ? RunOutcome::kWatchdogDegraded
+            : RunOutcome::kOk;
+    } else if (core.hitMaxCycles()) {
+        result.outcome = RunOutcome::kMaxCycles;
     } else {
-        core.run();
-        result.completed = true;
+        result.outcome = RunOutcome::kCrashed;
     }
 
     result.functionalGeneration = Workload::generation(workload->image());
     // On a completed run, drain the hierarchy so the durable image holds
     // the final state (clean shutdown); on a crash, everything volatile
-    // is lost and result.durable stays exactly as the device left it.
+    // is lost and result.durable stays exactly as the device left it --
+    // except that a FIFO prefix of the pending writes may land, with the
+    // boundary write torn at word granularity (see applyTornWrites).
     if (result.completed) {
         caches.writebackAll();
         mc.drainAll();
+    } else if (result.outcome == RunOutcome::kCrashed &&
+               cfg.sim.fault.crash.tornWrites) {
+        mc.applyTornWrites(cfg.sim.fault.crash.seed ^ crashAtCycle);
     }
     if (tracer)
         result.trace = tracer->summary();

@@ -42,6 +42,28 @@ struct RunConfig
     TraceOptions trace;
 };
 
+/**
+ * How a run ended. Everything except kException is a normal, reportable
+ * result; kException only appears in sweep records (runExperiment itself
+ * lets std::invalid_argument from validateRunConfig() propagate).
+ */
+enum class RunOutcome : uint8_t
+{
+    /** Ran to completion. */
+    kOk,
+    /** Stopped at crashAtCycle; durable image is a crash snapshot. */
+    kCrashed,
+    /** Completed, but the watchdog fell back to non-speculative
+     *  execution at least once along the way. */
+    kWatchdogDegraded,
+    /** Terminated by the cfg.sim.maxCycles safety valve. */
+    kMaxCycles,
+    /** The run threw; see the sweep record's error string. */
+    kException,
+};
+
+const char *runOutcomeName(RunOutcome outcome);
+
 /** Everything a run produces. */
 struct RunResult
 {
@@ -50,11 +72,25 @@ struct RunResult
     MemImage durable;
     /** True if the run finished; false if it stopped at crashAtCycle. */
     bool completed = true;
+    /** How the run ended (refines `completed`). */
+    RunOutcome outcome = RunOutcome::kOk;
     /** Generation counter reached by the volatile (functional) state. */
     uint64_t functionalGeneration = 0;
     /** Condensed trace view (enabled == false when tracing was off). */
     TraceSummary trace;
 };
+
+/**
+ * Reject impossible configurations before building the machine.
+ *
+ * @throws std::invalid_argument so a sweep worker records the cell as
+ *         RunOutcome::kException instead of dying on an SP_FATAL deep in
+ *         construction.
+ */
+void validateRunConfig(const RunConfig &cfg);
+
+/** One-line human-readable description (sweep failure records). */
+std::string describeRunConfig(const RunConfig &cfg);
 
 /**
  * Run one experiment end to end.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
@@ -97,12 +98,15 @@ SweepEngine::runTasks(size_t count,
         try {
             slot.run = task(idx);
             slot.ok = true;
+            slot.outcome = slot.run.outcome;
         } catch (const std::exception &e) {
             slot.ok = false;
             slot.error = e.what();
+            slot.outcome = RunOutcome::kException;
         } catch (...) {
             slot.ok = false;
             slot.error = "unknown exception";
+            slot.outcome = RunOutcome::kException;
         }
         auto t1 = std::chrono::steady_clock::now();
         slot.wallMs =
@@ -158,20 +162,48 @@ SweepEngine::runTasks(size_t count,
     return results;
 }
 
+namespace
+{
+
+/** Attach the offending config description to every non-kOk cell. */
+void
+describeFailures(std::vector<SweepRunResult> &results,
+                 const std::function<std::string(size_t)> &describe)
+{
+    for (SweepRunResult &r : results) {
+        if (r.outcome != RunOutcome::kOk)
+            r.configDesc = describe(r.index);
+    }
+}
+
+} // namespace
+
 std::vector<SweepRunResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs) const
 {
-    return runTasks(jobs.size(), [&jobs](size_t i) {
+    auto results = runTasks(jobs.size(), [&jobs](size_t i) {
         return runExperiment(jobs[i].cfg, jobs[i].crashAtCycle);
     });
+    describeFailures(results, [&jobs](size_t i) {
+        std::string desc = describeRunConfig(jobs[i].cfg);
+        if (jobs[i].crashAtCycle != 0) {
+            desc += " crashAt=" + std::to_string(jobs[i].crashAtCycle);
+        }
+        return desc;
+    });
+    return results;
 }
 
 std::vector<SweepRunResult>
 SweepEngine::run(const std::vector<RunConfig> &configs) const
 {
-    return runTasks(configs.size(), [&configs](size_t i) {
+    auto results = runTasks(configs.size(), [&configs](size_t i) {
         return runExperiment(configs[i]);
     });
+    describeFailures(results, [&configs](size_t i) {
+        return describeRunConfig(configs[i]);
+    });
+    return results;
 }
 
 SweepSummary
@@ -183,6 +215,31 @@ summarizeSweep(const std::vector<SweepRunResult> &results)
     double sumInstr = 0;
     for (const SweepRunResult &r : results) {
         s.totalWallMs += r.wallMs;
+        switch (r.outcome) {
+          case RunOutcome::kOk:
+            ++s.okRuns;
+            break;
+          case RunOutcome::kCrashed:
+            ++s.crashedRuns;
+            break;
+          case RunOutcome::kWatchdogDegraded:
+            ++s.degradedRuns;
+            break;
+          case RunOutcome::kMaxCycles:
+            ++s.maxCyclesRuns;
+            break;
+          case RunOutcome::kException:
+            ++s.exceptionRuns;
+            break;
+        }
+        if (r.outcome != RunOutcome::kOk) {
+            SweepFailureRecord rec;
+            rec.index = r.index;
+            rec.outcome = r.outcome;
+            rec.error = r.error;
+            rec.config = r.configDesc;
+            s.failures.push_back(std::move(rec));
+        }
         if (!r.ok) {
             ++s.failed;
             continue;
@@ -216,11 +273,53 @@ summarizeSweep(const std::vector<SweepRunResult> &results)
     return s;
 }
 
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 std::string
 SweepSummary::toJson() const
 {
     std::ostringstream os;
     os << "{\"runs\":" << runs << ",\"failed\":" << failed
+       << ",\"okRuns\":" << okRuns << ",\"crashedRuns\":" << crashedRuns
+       << ",\"degradedRuns\":" << degradedRuns
+       << ",\"maxCyclesRuns\":" << maxCyclesRuns
+       << ",\"exceptionRuns\":" << exceptionRuns
        << ",\"meanCycles\":" << meanCycles
        << ",\"stddevCycles\":" << stddevCycles
        << ",\"minCycles\":" << minCycles << ",\"maxCycles\":" << maxCycles
@@ -238,7 +337,17 @@ SweepSummary::toJson() const
     };
     hist("fenceStall", fenceStall);
     hist("epochDuration", epochDuration);
-    os << "}";
+    os << ",\"failures\":[";
+    for (size_t i = 0; i < failures.size(); ++i) {
+        const SweepFailureRecord &f = failures[i];
+        if (i)
+            os << ",";
+        os << "{\"index\":" << f.index << ",\"outcome\":\""
+           << runOutcomeName(f.outcome) << "\",\"error\":\""
+           << jsonEscape(f.error) << "\",\"config\":\""
+           << jsonEscape(f.config) << "\"}";
+    }
+    os << "]}";
     return os.str();
 }
 

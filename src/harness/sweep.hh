@@ -51,6 +51,14 @@ struct SweepRunResult
     bool ok = true;
     /** what() of the exception when !ok. */
     std::string error;
+    /** How the run ended; kException when !ok. */
+    RunOutcome outcome = RunOutcome::kOk;
+    /**
+     * Human-readable description of the offending RunConfig, filled by
+     * run() for every cell that did not end kOk so failure reports can
+     * name the configuration without re-deriving it from the index.
+     */
+    std::string configDesc;
 };
 
 /** Snapshot passed to the progress callback after each completed run. */
@@ -128,12 +136,34 @@ class SweepEngine
  * mean/stddev/min/max of cycle counts plus wall-time accounting,
  * generalizing the old SeedSweep struct.
  */
+/** One non-kOk sweep cell, with enough context to reproduce it. */
+struct SweepFailureRecord
+{
+    /** Submission index of the cell. */
+    size_t index = 0;
+    RunOutcome outcome = RunOutcome::kOk;
+    /** Exception what() (empty unless outcome == kException). */
+    std::string error;
+    /** describeRunConfig() of the offending cell (when available). */
+    std::string config;
+};
+
 struct SweepSummary
 {
     /** Completed (ok) runs aggregated. */
     unsigned runs = 0;
     /** Runs that threw (excluded from the aggregates). */
     unsigned failed = 0;
+
+    // --- Per-outcome counts (okRuns + ... + exceptionRuns == cells) -------
+    unsigned okRuns = 0;
+    unsigned crashedRuns = 0;
+    unsigned degradedRuns = 0;
+    unsigned maxCyclesRuns = 0;
+    unsigned exceptionRuns = 0;
+    /** Every cell that did not end kOk (kCrashed cells included: crash
+     *  campaigns read them; plain sweeps have none). */
+    std::vector<SweepFailureRecord> failures;
     double meanCycles = 0;
     double stddevCycles = 0;
     uint64_t minCycles = 0;

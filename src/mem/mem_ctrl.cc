@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -49,7 +50,10 @@ MemCtrl::advanceTo(Tick now)
                 InFlight fl;
                 fl.addr = head.addr;
                 fl.seq = head.seq;
-                fl.doneAt = start + cfg_.nvmmWriteCycles;
+                Tick lat = cfg_.nvmmWriteCycles;
+                if (jitterMax_ > 0)
+                    lat += jitterRng_.nextBounded(jitterMax_ + 1);
+                fl.doneAt = start + lat;
                 std::memcpy(fl.data, head.data, kBlockBytes);
                 bankFreeAt_[bank] = fl.doneAt;
                 // Keep completion order equal to seq order even when a
@@ -76,6 +80,9 @@ MemCtrl::nextEventTick() const
         const WpqEntry &head = wpq_.front();
         Tick start = std::max(bankFreeAt_[bankOf(head.addr)],
                               head.readyAt);
+        // With jitter enabled this is a lower bound on the true
+        // completion tick; waking early is harmless (advanceTo dispatches
+        // the write and the next prediction uses its real doneAt).
         next = std::min(next, start + cfg_.nvmmWriteCycles);
     }
     return next;
@@ -216,6 +223,66 @@ MemCtrl::updateFlushes(Tick now)
                                             return !still_pending(id);
                                         }),
                          incompleteIds_.end());
+}
+
+void
+MemCtrl::setWriteJitter(unsigned maxExtraCycles, uint64_t seed)
+{
+    jitterMax_ = maxExtraCycles;
+    jitterRng_ = Rng(seed);
+}
+
+unsigned
+MemCtrl::applyTornWrites(uint64_t seed)
+{
+    // The device commits writes strictly in seq order (the doneAt clamp
+    // in advanceTo) and the WAL protocol's crash safety rests on exactly
+    // that FIFO-prefix contract: if a write is durable, so is everything
+    // queued before it. A physical crash therefore exposes some prefix of
+    // the pending stream fully committed, at most ONE write -- the one on
+    // the media at the instant of failure -- torn at 8-byte-word
+    // granularity, and everything younger lost with the volatile queues.
+    // Tearing entries independently would fabricate states no crash can
+    // reach (e.g. the next transaction's log writes durable while the
+    // previous logged_bit clear is lost, corrupting an armed undo log).
+    size_t pending = inflight_.size() + wpq_.size();
+    if (pending == 0)
+        return 0;
+    Rng rng(seed);
+    auto entryAt = [this](size_t i) -> std::pair<Addr, const uint8_t *> {
+        if (i < inflight_.size()) {
+            const InFlight &e = inflight_[i];
+            return {e.addr, e.data};
+        }
+        const WpqEntry &e = wpq_[i - inflight_.size()];
+        return {e.addr, e.data};
+    };
+    // cut == pending commits everything cleanly (a crash that landed just
+    // after the last pending write hit the media).
+    size_t cut = rng.nextBounded(pending + 1);
+    unsigned changedBlocks = 0;
+    for (size_t i = 0; i < cut; ++i) {
+        auto [addr, data] = entryAt(i);
+        durable_.writeBlock(addr, data);
+        ++changedBlocks;
+    }
+    if (cut == pending)
+        return changedBlocks;
+    auto [addr, data] = entryAt(cut);
+    uint8_t block[kBlockBytes];
+    durable_.readBlock(addr, block);
+    bool changed = false;
+    for (unsigned w = 0; w < kBlockBytes / 8; ++w) {
+        if (rng.nextBool(0.5)) {
+            std::memcpy(block + 8 * w, data + 8 * w, 8);
+            changed = true;
+        }
+    }
+    if (changed) {
+        durable_.writeBlock(addr, block);
+        ++changedBlocks;
+    }
+    return changedBlocks;
 }
 
 void

@@ -22,6 +22,7 @@
 
 #include "mem/mem_image.hh"
 #include "sim/config.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -120,6 +121,29 @@ class MemCtrl
     /** Drain everything immediately (used between experiment phases). */
     void drainAll();
 
+    /**
+     * Enable deterministic per-write latency jitter (crash-injection
+     * campaigns): each dispatched NVMM write takes up to `maxExtraCycles`
+     * additional cycles, drawn from an Rng seeded with `seed`. Shifts
+     * pcommit completion times so crash cells sample different
+     * durability frontiers. 0 disables (the default).
+     */
+    void setWriteJitter(unsigned maxExtraCycles, uint64_t seed);
+
+    /**
+     * Power-failure tearing. The device commits pending writes strictly
+     * in seq order, so a crash exposes a FIFO prefix of the pending
+     * stream (inflight + WPQ): a pseudo-random cut point is drawn, every
+     * write before it commits whole, the write AT the cut -- the one on
+     * the media when power failed -- commits a pseudo-random subset of
+     * its 8-byte words (words stay atomic, the architectural guarantee
+     * the WAL protocol assumes), and everything younger is lost with the
+     * volatile queues.
+     *
+     * @return Number of durable blocks the crash modified.
+     */
+    unsigned applyTornWrites(uint64_t seed);
+
     /** Timeline position of the last advanceTo()/read() call. */
     Tick currentTick() const { return lastNow_; }
 
@@ -165,6 +189,9 @@ class MemCtrl
 
     /** Per-bank busy-until ticks. */
     std::vector<Tick> bankFreeAt_;
+    /** Fault injection: extra write-latency jitter (0 = off). */
+    unsigned jitterMax_ = 0;
+    Rng jitterRng_{1};
     /** High-water mark of observed time. */
     Tick lastNow_ = 0;
 

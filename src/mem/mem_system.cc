@@ -130,4 +130,20 @@ MemSystem::drainAll()
         ctrl->drainAll();
 }
 
+void
+MemSystem::setWriteJitter(unsigned maxExtraCycles, uint64_t seed)
+{
+    for (size_t i = 0; i < ctrls_.size(); ++i)
+        ctrls_[i]->setWriteJitter(maxExtraCycles, seed + i);
+}
+
+unsigned
+MemSystem::applyTornWrites(uint64_t seed)
+{
+    unsigned torn = 0;
+    for (size_t i = 0; i < ctrls_.size(); ++i)
+        torn += ctrls_[i]->applyTornWrites(seed + i);
+    return torn;
+}
+
 } // namespace sp

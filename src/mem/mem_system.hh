@@ -85,6 +85,20 @@ class MemSystem
     /** Drain every controller completely. */
     void drainAll();
 
+    /**
+     * Enable write-latency jitter on every controller (each gets a
+     * distinct stream derived from `seed`). 0 disables.
+     */
+    void setWriteJitter(unsigned maxExtraCycles, uint64_t seed);
+
+    /**
+     * Power-failure tearing across all controllers (see
+     * MemCtrl::applyTornWrites).
+     *
+     * @return Total writes torn.
+     */
+    unsigned applyTornWrites(uint64_t seed);
+
     /** Number of controllers (diagnostics / tests). */
     unsigned numCtrls() const
     {

@@ -1,5 +1,6 @@
 #include "pmem/recovery.hh"
 
+#include <limits>
 #include <vector>
 
 #include "pmem/layout.hh"
@@ -8,8 +9,20 @@
 namespace sp
 {
 
+namespace
+{
+
+/**
+ * Shared undo-replay pass.
+ *
+ * @param applyAtMost Upper bound on entries applied (an interrupted
+ *                    recovery stops early).
+ * @param clearBit Clear logged_bit after a complete pass; an
+ *                 interrupted pass must leave it set so the next boot
+ *                 recovers again.
+ */
 RecoveryResult
-recoverImage(MemImage &image)
+replayUndoLog(MemImage &image, unsigned applyAtMost, bool clearBit)
 {
     RecoveryResult result;
     uint64_t logged_bit = image.readInt(kLogBase, 8);
@@ -43,6 +56,8 @@ recoverImage(MemImage &image)
     // Apply in reverse so the oldest logged value of any byte wins.
     std::vector<uint8_t> buf;
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if (result.entriesApplied >= applyAtMost)
+            return result;
         buf.resize(it->len);
         image.read(it->data, buf.data(), static_cast<unsigned>(it->len));
         image.write(it->target, buf.data(),
@@ -50,8 +65,24 @@ recoverImage(MemImage &image)
         ++result.entriesApplied;
     }
 
-    image.writeInt(kLogBase, 0, 8);
+    if (clearBit)
+        image.writeInt(kLogBase, 0, 8);
     return result;
+}
+
+} // namespace
+
+RecoveryResult
+recoverImage(MemImage &image)
+{
+    return replayUndoLog(image, std::numeric_limits<unsigned>::max(),
+                         true);
+}
+
+RecoveryResult
+recoverImageInterrupted(MemImage &image, unsigned applyAtMost)
+{
+    return replayUndoLog(image, applyAtMost, false);
 }
 
 } // namespace sp

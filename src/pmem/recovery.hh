@@ -36,6 +36,17 @@ struct RecoveryResult
  */
 RecoveryResult recoverImage(MemImage &image);
 
+/**
+ * Recovery interrupted by a second crash: apply at most `applyAtMost`
+ * undo entries (reverse order, same as recoverImage) and never clear
+ * logged_bit. Models a power failure mid-recovery -- because entries
+ * are idempotent and logged_bit survives, a subsequent full
+ * recoverImage() must converge to the same image as an uninterrupted
+ * one. Tests exercise double/triple-crash schedules through this.
+ */
+RecoveryResult recoverImageInterrupted(MemImage &image,
+                                       unsigned applyAtMost);
+
 } // namespace sp
 
 #endif // SP_PMEM_RECOVERY_HH

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace sp
@@ -117,7 +118,14 @@ struct SimConfig
     CacheConfig l3{2 * 1024 * 1024, 16, 20};
     MemConfig mem;
     SpConfig sp;
-    /** Safety valve: abort the run after this many cycles (0 = unlimited). */
+    /** Fault-injection knobs (all off by default). */
+    FaultConfig fault;
+    /**
+     * Safety valve: terminate the run after this many cycles (0 =
+     * unlimited). Hitting it is a reported per-run outcome
+     * (RunOutcome::kMaxCycles), not a fatal error, so one runaway
+     * configuration fails one sweep cell instead of the whole worker.
+     */
     Tick maxCycles = 0;
 };
 

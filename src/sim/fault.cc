@@ -1,0 +1,184 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace sp
+{
+
+const char *
+conflictPolicyName(ConflictPolicy policy)
+{
+    switch (policy) {
+      case ConflictPolicy::kUniform:
+        return "uniform";
+      case ConflictPolicy::kHotSet:
+        return "hotset";
+      case ConflictPolicy::kTrailWriter:
+        return "trail";
+    }
+    return "?";
+}
+
+const char *
+conflictTimingName(ConflictTiming timing)
+{
+    return timing == ConflictTiming::kFixed ? "fixed" : "poisson";
+}
+
+ConflictPolicy
+parseConflictPolicy(const std::string &name)
+{
+    if (name == "uniform")
+        return ConflictPolicy::kUniform;
+    if (name == "hotset")
+        return ConflictPolicy::kHotSet;
+    if (name == "trail" || name == "trailing")
+        return ConflictPolicy::kTrailWriter;
+    SP_FATAL("unknown conflict policy '", name,
+             "' (expected uniform|hotset|trail)");
+}
+
+// --------------------------------------------------------------------------
+// ConflictInjector
+// --------------------------------------------------------------------------
+
+ConflictInjector::ConflictInjector(const ConflictInjectConfig &cfg,
+                                   Addr footprintBase,
+                                   uint64_t footprintBytes)
+    : cfg_(cfg), base_(blockAlign(footprintBase)),
+      range_(footprintBytes ? footprintBytes : kBlockBytes),
+      state_(cfg.seed ^ 0x5fa7bfa7bfa7bfa7ULL)
+{
+    SP_ASSERT(cfg_.period > 0, "conflict injection needs a period");
+    nextAt_ = interval();
+}
+
+uint64_t
+ConflictInjector::draw()
+{
+    // splitmix64: one multiply-xor chain per draw, no retained stream
+    // state beyond the counter, so the schedule depends only on the seed
+    // and the number of prior draws.
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Tick
+ConflictInjector::interval()
+{
+    if (cfg_.timing == ConflictTiming::kFixed)
+        return cfg_.period;
+    // Poisson arrivals: exponential inter-arrival with the configured
+    // mean, floored at one cycle so the schedule always advances.
+    double u = (static_cast<double>(draw() >> 11) + 1.0) / 9007199254740993.0;
+    double gap = -static_cast<double>(cfg_.period) * std::log(u);
+    if (gap < 1.0)
+        return 1;
+    if (gap > 1e15)
+        return static_cast<Tick>(1e15);
+    return static_cast<Tick>(gap);
+}
+
+Addr
+ConflictInjector::drawProbe(Tick now)
+{
+    SP_ASSERT(due(now), "drawProbe called before a probe was due");
+    ++injected_;
+    nextAt_ += interval();
+
+    Addr target;
+    switch (cfg_.policy) {
+      case ConflictPolicy::kUniform:
+        target = base_ + blockAlign(draw() % range_);
+        break;
+      case ConflictPolicy::kHotSet: {
+        double u = static_cast<double>(draw() >> 11) / 9007199254740992.0;
+        uint64_t window =
+            u < cfg_.hotFraction ? std::min(cfg_.hotBytes, range_) : range_;
+        target = base_ + blockAlign(draw() % window);
+        break;
+      }
+      case ConflictPolicy::kTrailWriter:
+        // Until the first speculative store exists, behave as uniform so
+        // the schedule (and draw count) never depends on probe timing.
+        target = haveWriter_ ? lastWriterBlock_
+                             : base_ + blockAlign(draw() % range_);
+        break;
+      default:
+        SP_PANIC("unhandled conflict policy");
+    }
+    return blockAlign(target);
+}
+
+// --------------------------------------------------------------------------
+// SpecGovernor
+// --------------------------------------------------------------------------
+
+void
+SpecGovernor::noteAbort(Tick now)
+{
+    if (!cfg_.enabled)
+        return;
+    ++streak_;
+    // Bounded exponential backoff: base << (streak-1), capped. The shift
+    // is clamped so a long streak cannot overflow the Tick.
+    unsigned shift = std::min(streak_ - 1, 20u);
+    Tick backoff = std::min(cfg_.backoffCap, cfg_.backoffBase << shift);
+    backoffUntil_ = now + backoff;
+    if (stats_)
+        ++stats_->watchdogBackoffs;
+    if (tracer_ && tracer_->enabled(kTraceSpec)) {
+        tracer_->instant(kTraceSpec, "watchdog_backoff", now,
+                         "\"streak\":" + std::to_string(streak_) +
+                             ",\"until\":" + std::to_string(backoffUntil_));
+    }
+    if (streak_ >= cfg_.abortThreshold && degradedRemaining_ == 0) {
+        degradedRemaining_ = std::max(1u, cfg_.fallbackFences);
+        if (stats_)
+            ++stats_->watchdogDegradations;
+        if (tracer_ && tracer_->enabled(kTraceSpec)) {
+            tracer_->instant(
+                kTraceSpec, "watchdog_degrade", now,
+                "\"streak\":" + std::to_string(streak_) +
+                    ",\"fallbackFences\":" +
+                    std::to_string(degradedRemaining_));
+        }
+    }
+}
+
+void
+SpecGovernor::noteCommit(Tick now)
+{
+    (void)now;
+    if (!cfg_.enabled)
+        return;
+    streak_ = 0;
+    backoffUntil_ = 0;
+}
+
+void
+SpecGovernor::noteFenceRetired(Tick now)
+{
+    if (!cfg_.enabled || degradedRemaining_ == 0)
+        return;
+    if (stats_)
+        ++stats_->degradedFences;
+    if (--degradedRemaining_ == 0) {
+        // K fences ran non-speculatively: re-arm with a clean slate.
+        streak_ = 0;
+        backoffUntil_ = 0;
+        if (stats_)
+            ++stats_->watchdogRearms;
+        if (tracer_ && tracer_->enabled(kTraceSpec))
+            tracer_->instant(kTraceSpec, "watchdog_rearm", now);
+    }
+}
+
+} // namespace sp

@@ -91,6 +91,14 @@ Stats::print(std::ostream &os, const std::string &prefix) const
     line("bloomFalsePositives", bloomFalsePositives);
     line("ssbForwards", ssbForwards);
     line("spsTriples", spsTriples);
+    if (conflictProbes > 0)
+        line("conflictProbes", conflictProbes);
+    if (watchdogBackoffs > 0) {
+        line("watchdogBackoffs", watchdogBackoffs);
+        line("watchdogDegradations", watchdogDegradations);
+        line("watchdogRearms", watchdogRearms);
+        line("degradedFences", degradedFences);
+    }
     if (flushLatency.samples() > 0) {
         line("flushLatencySamples", flushLatency.samples());
         line("flushLatencyMean",

@@ -100,6 +100,18 @@ struct Stats
     /** sfence-pcommit-sfence triples folded into one checkpoint. */
     uint64_t spsTriples = 0;
 
+    // --- Fault injection & forward progress ---------------------------
+    /** External coherence probes delivered by the conflict injector. */
+    uint64_t conflictProbes = 0;
+    /** Watchdog backoff windows armed (one per abort while enabled). */
+    uint64_t watchdogBackoffs = 0;
+    /** Times the watchdog fell back to non-speculative execution. */
+    uint64_t watchdogDegradations = 0;
+    /** Times the watchdog re-armed speculation after a fallback window. */
+    uint64_t watchdogRearms = 0;
+    /** Fences retired while the speculation fallback was active. */
+    uint64_t degradedFences = 0;
+
     /** Distribution of pcommit flush latencies (issue to completion). */
     Histogram flushLatency;
 

@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "workloads/avl_tree.hh"
+#include "workloads/avl_tree_incremental.hh"
 #include "workloads/btree.hh"
 #include "workloads/graph.hh"
 #include "workloads/hash_map.hh"
@@ -42,6 +43,8 @@ workloadKindName(WorkloadKind kind)
         return "BT";
       case WorkloadKind::kRbTree:
         return "RT";
+      case WorkloadKind::kAvlTreeIncremental:
+        return "AT-inc";
     }
     return "?";
 }
@@ -68,6 +71,7 @@ paperScaleParams(WorkloadKind kind)
         p.simOps = 500000;
         break;
       case WorkloadKind::kAvlTree:
+      case WorkloadKind::kAvlTreeIncremental:
         p.initOps = 1000000;
         p.simOps = 50000;
         break;
@@ -108,6 +112,7 @@ defaultParams(WorkloadKind kind, double scale)
         p.simOps = 1500;
         break;
       case WorkloadKind::kAvlTree:
+      case WorkloadKind::kAvlTreeIncremental:
         p.initOps = 60000;
         p.simOps = 500;
         break;
@@ -147,6 +152,8 @@ makeWorkload(WorkloadKind kind, const WorkloadParams &params)
         return std::make_unique<BTreeWorkload>(params);
       case WorkloadKind::kRbTree:
         return std::make_unique<RbTreeWorkload>(params);
+      case WorkloadKind::kAvlTreeIncremental:
+        return std::make_unique<AvlTreeIncrementalWorkload>(params);
     }
     SP_PANIC("unknown workload kind");
 }

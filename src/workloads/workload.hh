@@ -45,6 +45,14 @@ enum class WorkloadKind
     kAvlTree,    // AT
     kBTree,      // BT
     kRbTree,     // RT
+    /**
+     * AT-inc: the AVL tree under incremental (per-rebalance-step)
+     * logging. Not part of Table 1, so allWorkloadKinds() excludes it;
+     * fault campaigns add it explicitly because its many small
+     * transactions stress crash recovery differently than AT's full
+     * path logging.
+     */
+    kAvlTreeIncremental,
 };
 
 /** Parameters of one workload run. */
