@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Simulator-throughput baseline: how fast does the simulator itself run?
+ *
+ * Every other bench measures the *simulated machine*; this one measures
+ * the *simulator*, so perf work has a number to move and regressions have
+ * a gate to trip. Three suites:
+ *
+ *   - seed_sweep: the fig08 grid (every Table 1 workload x the five
+ *     persistence variants) at default bench scale -- the workload mix
+ *     the ISSUE's >=2x target is defined against;
+ *   - fault_campaign: every workload under Log+P+Sf with SP on and the
+ *     uniform conflict adversary firing, covering the abort/rollback
+ *     paths the sweep grid never exercises;
+ *   - smoke: one mid-sized SP configuration, small enough for CI. It
+ *     runs three repetitions and keeps the best wall time so a transient
+ *     load spike on the CI machine does not read as a regression.
+ *
+ * Per suite it reports simulated cycles, wall seconds, simulated
+ * cycles/second, and heap allocations (counted by the interposed
+ * operator new below -- the simulator runs single-threaded here, so the
+ * count is deterministic and comparable across builds).
+ *
+ * Usage:
+ *   bench_perf_baseline            run all suites, write BENCH_perf.json
+ *   bench_perf_baseline --smoke    run only the smoke suite
+ *   bench_perf_baseline --check F  compare cycles/sec per suite against
+ *                                  the `suites` object in JSON file F;
+ *                                  exit 1 on >25% regression (override
+ *                                  with SP_BENCH_TOLERANCE, a fraction)
+ *   bench_perf_baseline --out F    write the JSON report to F instead of
+ *                                  ./BENCH_perf.json (empty = no file)
+ *
+ * The `bench-smoke` ctest label runs `--smoke --check <repo>/BENCH_perf.json`.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/factory.hh"
+
+// --------------------------------------------------------------------------
+// Allocation interposition. Counting in the bench binary overrides the
+// global operators for the whole process (simulator library included).
+// --------------------------------------------------------------------------
+
+static std::atomic<uint64_t> g_allocations{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace sp;
+
+struct SuiteResult
+{
+    std::string name;
+    unsigned runs = 0;
+    uint64_t simCycles = 0;
+    uint64_t allocations = 0;
+    double wallSeconds = 0;
+
+    double cyclesPerSec() const
+    {
+        return wallSeconds > 0 ? static_cast<double>(simCycles) /
+                wallSeconds
+                               : 0;
+    }
+};
+
+/** Run a grid serially, timing the simulation only (not setup parsing). */
+SuiteResult
+runSuite(const std::string &name, const std::vector<RunConfig> &grid)
+{
+    SuiteResult result;
+    result.name = name;
+    result.runs = static_cast<unsigned>(grid.size());
+    uint64_t allocs0 = g_allocations.load(std::memory_order_relaxed);
+    auto t0 = std::chrono::steady_clock::now();
+    for (const RunConfig &cfg : grid) {
+        RunResult run = runExperiment(cfg);
+        result.simCycles += run.stats.cycles;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.allocations =
+        g_allocations.load(std::memory_order_relaxed) - allocs0;
+    return result;
+}
+
+std::vector<RunConfig>
+seedSweepGrid()
+{
+    struct Variant
+    {
+        PersistMode mode;
+        bool sp;
+    };
+    const Variant variants[] = {
+        {PersistMode::kNone, false},   {PersistMode::kLog, false},
+        {PersistMode::kLogP, false},   {PersistMode::kLogPSf, false},
+        {PersistMode::kLogPSf, true},
+    };
+    std::vector<RunConfig> grid;
+    for (WorkloadKind kind : allWorkloadKinds())
+        for (const Variant &v : variants)
+            grid.push_back(makeRunConfig(kind, v.mode, v.sp));
+    return grid;
+}
+
+std::vector<RunConfig>
+faultCampaignGrid()
+{
+    std::vector<RunConfig> grid;
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        RunConfig cfg =
+            makeRunConfig(kind, PersistMode::kLogPSf, true, 256, 0.5);
+        cfg.sim.fault.conflict.enabled = true;
+        cfg.sim.fault.conflict.policy = ConflictPolicy::kUniform;
+        cfg.sim.fault.conflict.period = 2000;
+        cfg.sim.fault.conflict.seed = 7;
+        grid.push_back(cfg);
+    }
+    return grid;
+}
+
+std::vector<RunConfig>
+smokeGrid()
+{
+    return {makeRunConfig(WorkloadKind::kBTree, PersistMode::kLogPSf, true,
+                          256, 0.25)};
+}
+
+SuiteResult
+runSmokeBestOf(unsigned reps)
+{
+    SuiteResult best;
+    for (unsigned i = 0; i < reps; ++i) {
+        SuiteResult r = runSuite("smoke", smokeGrid());
+        if (i == 0 || r.wallSeconds < best.wallSeconds)
+            best = r;
+    }
+    return best;
+}
+
+std::string
+suiteJson(const SuiteResult &s)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"runs\":%u,\"simCycles\":%llu,\"wallSeconds\":%.3f,"
+                  "\"cyclesPerSec\":%.0f,\"allocations\":%llu}",
+                  s.runs, static_cast<unsigned long long>(s.simCycles),
+                  s.wallSeconds, s.cyclesPerSec(),
+                  static_cast<unsigned long long>(s.allocations));
+    return buf;
+}
+
+void
+printSuite(const SuiteResult &s)
+{
+    std::printf("%-15s %3u runs  %12llu cycles  %8.3f s  %12.0f cyc/s"
+                "  %10llu allocs\n",
+                s.name.c_str(), s.runs,
+                static_cast<unsigned long long>(s.simCycles),
+                s.wallSeconds, s.cyclesPerSec(),
+                static_cast<unsigned long long>(s.allocations));
+}
+
+/**
+ * Pull `"<suite>": { ... "cyclesPerSec": N ... }` out of a JSON report.
+ * A full parser is overkill for a file this tool writes itself; the
+ * extraction is keyed on the suite name inside the "suites" object.
+ *
+ * @retval false the suite or field was not found.
+ */
+bool
+extractCyclesPerSec(const std::string &json, const std::string &suite,
+                    double *out)
+{
+    size_t suites = json.find("\"suites\"");
+    if (suites == std::string::npos)
+        return false;
+    size_t at = json.find("\"" + suite + "\"", suites);
+    if (at == std::string::npos)
+        return false;
+    size_t key = json.find("\"cyclesPerSec\"", at);
+    if (key == std::string::npos)
+        return false;
+    size_t colon = json.find(':', key);
+    if (colon == std::string::npos)
+        return false;
+    *out = std::strtod(json.c_str() + colon + 1, nullptr);
+    return *out > 0;
+}
+
+int
+checkAgainstBaseline(const std::vector<SuiteResult> &measured,
+                     const std::string &baselinePath)
+{
+    std::ifstream in(baselinePath);
+    if (!in) {
+        std::cerr << "cannot open baseline " << baselinePath << "\n";
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+
+    double tolerance = 0.25;
+    if (const char *env = std::getenv("SP_BENCH_TOLERANCE")) {
+        double v = std::strtod(env, nullptr);
+        if (v > 0)
+            tolerance = v;
+    }
+
+    int failures = 0;
+    for (const SuiteResult &s : measured) {
+        double baseline = 0;
+        if (!extractCyclesPerSec(json, s.name, &baseline)) {
+            std::printf("check %-15s no baseline entry, skipped\n",
+                        s.name.c_str());
+            continue;
+        }
+        double ratio = s.cyclesPerSec() / baseline;
+        bool ok = ratio >= 1.0 - tolerance;
+        std::printf("check %-15s %12.0f cyc/s vs baseline %12.0f"
+                    "  (%+5.1f%%)  %s\n",
+                    s.name.c_str(), s.cyclesPerSec(), baseline,
+                    (ratio - 1.0) * 100.0, ok ? "ok" : "REGRESSION");
+        if (!ok)
+            ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smokeOnly = false;
+    std::string checkPath;
+    std::string outPath = "BENCH_perf.json";
+    bool outPathSet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smokeOnly = true;
+        } else if (arg == "--check" && i + 1 < argc) {
+            checkPath = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+            outPathSet = true;
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--smoke] [--check FILE] [--out FILE]\n";
+            return 2;
+        }
+    }
+    // In check mode the JSON report is a side effect nobody asked for;
+    // keep the tree clean unless --out was explicit.
+    if (!checkPath.empty() && !outPathSet)
+        outPath.clear();
+
+    std::vector<SuiteResult> results;
+    if (!smokeOnly) {
+        results.push_back(runSuite("seed_sweep", seedSweepGrid()));
+        printSuite(results.back());
+        results.push_back(runSuite("fault_campaign", faultCampaignGrid()));
+        printSuite(results.back());
+    }
+    results.push_back(runSmokeBestOf(3));
+    printSuite(results.back());
+
+    if (!outPath.empty()) {
+        std::ofstream out(outPath);
+        out << "{\n  \"schema\": \"sp-perf-v1\",\n  \"suites\": {\n";
+        for (size_t i = 0; i < results.size(); ++i) {
+            out << "    \"" << results[i].name
+                << "\": " << suiteJson(results[i])
+                << (i + 1 < results.size() ? ",\n" : "\n");
+        }
+        out << "  }\n}\n";
+        std::cout << "wrote " << outPath << "\n";
+    }
+
+    if (!checkPath.empty())
+        return checkAgainstBaseline(results, checkPath);
+    return 0;
+}

@@ -13,14 +13,20 @@
 #define SP_CORE_BLT_HH
 
 #include <cstddef>
-#include <unordered_set>
 
+#include "core/addr_map.hh"
 #include "sim/types.hh"
 
 namespace sp
 {
 
-/** Set of speculatively accessed block addresses. */
+/**
+ * Set of speculatively accessed block addresses. Backed by an
+ * open-addressing AddrSet: record() runs on every speculative load and
+ * store retirement, probe() on every external coherence operation, and
+ * clear() on every abort/commit, so all three must be allocation-free
+ * and O(1).
+ */
 class BlockLookupTable
 {
   public:
@@ -30,7 +36,7 @@ class BlockLookupTable
     /** Does an external access to this block conflict with speculation? */
     bool probe(Addr addr) const
     {
-        return blocks_.count(blockAlign(addr)) != 0;
+        return blocks_.contains(blockAlign(addr));
     }
 
     /** Forget everything (commit or abort). */
@@ -39,7 +45,7 @@ class BlockLookupTable
     size_t size() const { return blocks_.size(); }
 
   private:
-    std::unordered_set<Addr> blocks_;
+    AddrSet blocks_;
 };
 
 } // namespace sp

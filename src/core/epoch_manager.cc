@@ -41,6 +41,25 @@ EpochManager::drainAllowed(const SsbEntry &entry) const
     return true;
 }
 
+std::vector<uint64_t>
+EpochManager::takePooledFlushes()
+{
+    if (flushPool_.empty())
+        return {};
+    std::vector<uint64_t> v = std::move(flushPool_.back());
+    flushPool_.pop_back();
+    return v;
+}
+
+void
+EpochManager::recycleFlushes(Epoch &epoch)
+{
+    if (epoch.flushes.capacity() == 0 || flushPool_.size() >= 8)
+        return;
+    epoch.flushes.clear();
+    flushPool_.push_back(std::move(epoch.flushes));
+}
+
 uint64_t
 EpochManager::currentEpoch() const
 {
@@ -97,6 +116,7 @@ EpochManager::startChild(uint64_t cursor, Tick now)
     Epoch epoch;
     epoch.id = nextEpochId_++;
     epoch.checkpointIdx = idx;
+    epoch.flushes = takePooledFlushes();
     epoch.isFirst = false;
     if (tracer_ && tracer_->enabled(kTraceEpoch)) {
         tracer_->instant(kTraceEpoch, "checkpoint_take", now,
@@ -191,6 +211,7 @@ EpochManager::tick(Tick now)
                               now, "\"outcome\":\"commit\"");
         }
         checkpoints_.free(epochs_.front().checkpointIdx);
+        recycleFlushes(epochs_.front());
         epochs_.pop_front();
         ++stats_.epochsCommitted;
         progress = true;
@@ -231,6 +252,7 @@ EpochManager::exitSpeculation(Tick now)
                           "\"outcome\":\"commit\"");
     }
     checkpoints_.free(epochs_.front().checkpointIdx);
+    recycleFlushes(epochs_.front());
     epochs_.clear();
     ++stats_.epochsCommitted;
 }
@@ -253,6 +275,8 @@ EpochManager::abortAll(Tick now)
                               "\"outcome\":\"abort\"");
         }
     }
+    for (Epoch &epoch : epochs_)
+        recycleFlushes(epoch);
     epochs_.clear();
     checkpoints_.reset();
     drainBusyUntil_ = 0;

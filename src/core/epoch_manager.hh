@@ -151,6 +151,12 @@ class EpochManager
     Stats &stats_;
 
     std::deque<Epoch> epochs_;
+    /**
+     * Recycled flush-id vectors: a sweep retires millions of epochs and
+     * each used to heap-allocate its flushes vector; the pool reuses the
+     * committed epochs' buffers instead.
+     */
+    std::vector<std::vector<uint64_t>> flushPool_;
     Tracer *tracer_ = nullptr;
     uint64_t nextEpochId_ = 1;
     bool preSpecDrained_ = false;
@@ -165,6 +171,8 @@ class EpochManager
     bool canRetire(const Epoch &epoch) const;
     bool drainAllowed(const SsbEntry &entry) const;
     bool drainOne(Tick now);
+    std::vector<uint64_t> takePooledFlushes();
+    void recycleFlushes(Epoch &epoch);
 };
 
 } // namespace sp

@@ -15,6 +15,15 @@ void
 SpeculativeStoreBuffer::push(const SsbEntry &entry, Tick now)
 {
     SP_ASSERT(!full(), "SSB overflow");
+    SP_ASSERT(epochCounts_.empty() ||
+                  entry.epoch >= epochCounts_.back().first,
+              "SSB epoch tags must be monotone");
+    if (entry.type == SsbEntryType::kStore)
+        storeCover_.add(entry.addr, entry.size);
+    if (!epochCounts_.empty() && epochCounts_.back().first == entry.epoch)
+        ++epochCounts_.back().second;
+    else
+        epochCounts_.emplace_back(entry.epoch, 1);
     entries_.push_back(entry);
     if (tracer_ && tracer_->enabled(kTraceSsb)) {
         tracer_->counter(kTraceSsb, "ssb_occupancy", now,
@@ -33,7 +42,20 @@ void
 SpeculativeStoreBuffer::pop(Tick now)
 {
     SP_ASSERT(!empty(), "SSB underflow");
+    const SsbEntry &head = entries_.front();
+    if (head.type == SsbEntryType::kStore)
+        storeCover_.sub(head.addr, head.size);
+    SP_ASSERT(!epochCounts_.empty() &&
+                  epochCounts_.front().first == head.epoch,
+              "SSB epoch accounting out of sync");
+    if (--epochCounts_.front().second == 0)
+        epochCounts_.pop_front();
     entries_.pop_front();
+    if (entries_.empty()) {
+        // Episode over: release the coverage index's stale zero-count
+        // slots so the table size is bounded by one episode's footprint.
+        storeCover_.clear();
+    }
     if (tracer_ && tracer_->enabled(kTraceSsb)) {
         tracer_->counter(kTraceSsb, "ssb_occupancy", now,
                          entries_.size());
@@ -43,25 +65,19 @@ SpeculativeStoreBuffer::pop(Tick now)
 bool
 SpeculativeStoreBuffer::searchForLoad(Addr addr, unsigned size) const
 {
-    // Youngest-first so forwarding picks the most recent producer; we only
-    // need existence for timing and statistics.
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-        if (it->type != SsbEntryType::kStore)
-            continue;
-        Addr lo = it->addr;
-        Addr hi = it->addr + it->size;
-        if (addr < hi && addr + size > lo)
-            return true;
-    }
-    return false;
+    // The caller only needs existence (for timing and statistics); any
+    // covered byte in the range means some buffered store overlaps it.
+    return storeCover_.anyCovered(addr, size);
 }
 
 bool
 SpeculativeStoreBuffer::hasEntriesFor(uint64_t epoch) const
 {
-    for (const SsbEntry &entry : entries_) {
-        if (entry.epoch == epoch)
-            return true;
+    for (const auto &[id, count] : epochCounts_) {
+        if (id == epoch)
+            return count != 0;
+        if (id > epoch)
+            return false;
     }
     return false;
 }
@@ -70,6 +86,8 @@ void
 SpeculativeStoreBuffer::clear()
 {
     entries_.clear();
+    epochCounts_.clear();
+    storeCover_.clear();
 }
 
 } // namespace sp

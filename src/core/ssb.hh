@@ -16,7 +16,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <utility>
 
+#include "core/addr_map.hh"
 #include "sim/config.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -93,7 +95,8 @@ class SpeculativeStoreBuffer
 
     /**
      * Search for the youngest store overlapping [addr, addr+size).
-     * Used for store-to-load forwarding during speculation.
+     * Used for store-to-load forwarding during speculation. O(1): the
+     * per-byte coverage index answers existence without a CAM scan.
      *
      * @retval true a store overlapping the range is buffered.
      */
@@ -109,6 +112,20 @@ class SpeculativeStoreBuffer
     unsigned capacity_;
     unsigned latency_;
     std::deque<SsbEntry> entries_;
+    /**
+     * Byte-granular coverage counts of the buffered kStore entries,
+     * kept coherent with the deque on push/pop/clear. Existence of an
+     * overlap is exactly "some covered byte count is nonzero", so the
+     * index answers searchForLoad() without scanning.
+     */
+    ByteCoverageMap storeCover_;
+    /**
+     * Run-length view of the entries' (monotone) epoch tags:
+     * (epoch, live entry count), oldest first. Epoch ids only grow and
+     * entries leave FIFO, so hasEntriesFor() scans the handful of live
+     * epochs instead of the whole buffer.
+     */
+    std::deque<std::pair<uint64_t, uint32_t>> epochCounts_;
     Tracer *tracer_ = nullptr;
 };
 

@@ -14,7 +14,8 @@ OooCore::OooCore(const SimConfig &cfg, Program &program,
       bloom_(cfg.sp.bloomBytes, cfg.sp.bloomHashes),
       epochs_(ssb_, checkpoints_, caches_, mc_, stats_,
               cfg.sp.strictCommit),
-      doneAt_(kRingSize, kTickNever), governor_(cfg.fault.watchdog)
+      waitHead_(kRingSize, 0), doneAt_(kRingSize, kTickNever),
+      governor_(cfg.fault.watchdog)
 {
     governor_.attach(&stats_, nullptr);
 }
@@ -130,6 +131,47 @@ OooCore::preSpecDrained() const
     return storeBufferEmpty() && persistAcksDone();
 }
 
+void
+OooCore::compactPersistState()
+{
+    // A max_cycles-bounded run retires millions of clwbs and pcommits;
+    // without compaction persistAcks_ and flushes_ grow without bound.
+    // Only entries whose every future observable effect is already spent
+    // are dropped, so fences, speculation triggers, and nextEventTick()
+    // behave bit-identically.
+    constexpr size_t kThreshold = 64;
+    if (persistAcks_.size() >= kThreshold) {
+        // Delivered acks (<= now_) satisfy persistAcksDone() forever and
+        // never become an event again.
+        persistAcks_.erase(
+            std::remove_if(persistAcks_.begin(), persistAcks_.end(),
+                           [this](Tick t) { return t <= now_; }),
+            persistAcks_.end());
+    }
+    if (flushes_.size() >= kThreshold) {
+        // Acked flights with a delivered ack are fully resolved. Flights
+        // whose flush completed but whose ack is still unobserved all
+        // behave identically from here on -- the next updateFlushAcks()
+        // stamps them with one common delivery tick and they neither
+        // gate speculation nor count as outstanding -- so a single
+        // representative carries the whole set.
+        bool kept_unobserved = false;
+        flushes_.erase(
+            std::remove_if(flushes_.begin(), flushes_.end(),
+                           [&](const FlushFlight &f) {
+                               if (f.ackAt != kTickNever)
+                                   return f.ackAt <= now_;
+                               if (!mc_.flushComplete(f.id))
+                                   return false;
+                               if (kept_unobserved)
+                                   return true;
+                               kept_unobserved = true;
+                               return false;
+                           }),
+            flushes_.end());
+    }
+}
+
 // --------------------------------------------------------------------------
 // Fetch
 // --------------------------------------------------------------------------
@@ -184,7 +226,7 @@ OooCore::dispatchStage()
     while (budget > 0 && !fetchQ_.empty()) {
         if (rob_.size() >= cfg_.core.robSize)
             break;
-        if (unissued_.size() >= cfg_.core.issueQueueSize)
+        if (unissuedCount_ >= cfg_.core.issueQueueSize)
             break;
         const DynOp &front = fetchQ_.front();
         bool mem = isMemOp(front.op.type);
@@ -193,7 +235,8 @@ OooCore::dispatchStage()
         // Reset the dependence ring slot for this source op.
         doneAt_[(front.nextCursor - 1) % kRingSize] = kTickNever;
         rob_.push_back(front);
-        unissued_.push_back(front.seq);
+        enqueueForIssue(rob_.back());
+        ++unissuedCount_;
         if (mem)
             ++lsqCount_;
         fetchQ_.pop_front();
@@ -232,6 +275,34 @@ bool
 OooCore::depReady(const DynOp &op) const
 {
     return depReadyAt(op) <= now_;
+}
+
+void
+OooCore::enqueueForIssue(DynOp &op)
+{
+    Tick t = depReadyAt(op);
+    if (t == kTickNever) {
+        // Producer dispatched but not yet executed: park on its ring
+        // slot; executeOp() moves the chain once the tick is known.
+        unsigned idx =
+            static_cast<unsigned>((op.nextCursor - 1 - op.op.dep) %
+                                  kRingSize);
+        op.waitNext = waitHead_[idx];
+        waitHead_[idx] = op.seq;
+    } else if (t > now_) {
+        pendingWakes_.push({t, op.seq});
+    } else {
+        readySeqs_.push(op.seq);
+    }
+}
+
+void
+OooCore::clearIssueQueues()
+{
+    readySeqs_ = {};
+    pendingWakes_ = {};
+    std::fill(waitHead_.begin(), waitHead_.end(), 0);
+    unissuedCount_ = 0;
 }
 
 void
@@ -294,25 +365,37 @@ OooCore::executeOp(DynOp &op)
     }
     op.issued = true;
     op.readyAt = ready;
-    doneAt_[(op.nextCursor - 1) % kRingSize] = ready;
+    unsigned idx = static_cast<unsigned>((op.nextCursor - 1) % kRingSize);
+    doneAt_[idx] = ready;
+    // Wake consumers parked on this producer: their dependence tick is
+    // now known, so they graduate to the timed wake heap.
+    uint64_t waiter = waitHead_[idx];
+    waitHead_[idx] = 0;
+    while (waiter != 0) {
+        DynOp *w = findBySeq(waiter);
+        SP_ASSERT(w && !w->issued, "stale wait-chain entry");
+        pendingWakes_.push({ready, waiter});
+        waiter = w->waitNext;
+    }
 }
 
 void
 OooCore::issueStage()
 {
+    while (!pendingWakes_.empty() && pendingWakes_.top().at <= now_) {
+        readySeqs_.push(pendingWakes_.top().seq);
+        pendingWakes_.pop();
+    }
     unsigned issued = 0;
-    for (auto it = unissued_.begin();
-         it != unissued_.end() && issued < cfg_.core.issueWidth;) {
-        DynOp *op = findBySeq(*it);
-        SP_ASSERT(op && !op->issued, "stale unissued entry");
-        if (!depReady(*op)) {
-            ++it;
-            continue;
-        }
+    while (issued < cfg_.core.issueWidth && !readySeqs_.empty()) {
+        uint64_t seq = readySeqs_.top();
+        readySeqs_.pop();
+        DynOp *op = findBySeq(seq);
+        SP_ASSERT(op && !op->issued, "stale ready entry");
         executeOp(*op);
         ++issued;
+        --unissuedCount_;
         flags_.progress = true;
-        it = unissued_.erase(it);
     }
 }
 
@@ -810,7 +893,7 @@ OooCore::abortSpeculation()
     program_.rewind(cursor);
     fetchQ_.clear();
     rob_.clear();
-    unissued_.clear();
+    clearIssueQueues();
     lsqCount_ = 0;
     pendingAlu_ = 0;
     // The rewound window has ops to re-deliver even if the inner program
@@ -895,6 +978,7 @@ OooCore::stepCycle()
     flags_ = CycleFlags{};
 
     mc_.advanceTo(now_);
+    compactPersistState();
     processProbes();
     if (specMode_) {
         epochs_.setPreSpecDrained(preSpecDrained());
@@ -975,6 +1059,11 @@ OooCore::nextEventTick() const
         consider(injector_->nextAt());
     if (governor_.backoffUntil() > now_)
         consider(governor_.backoffUntil());
+    // The interval sampler must fire at its exact tick even while the
+    // pipeline is idle, or counter traces would depend on the skip
+    // schedule instead of on simulated time.
+    if (tracer_ && tracer_->enabled(kTraceCounters))
+        consider(nextSampleAt_);
     return next;
 }
 
@@ -1013,11 +1102,22 @@ OooCore::runUntil(Tick cycleLimit)
         if (flags_.progress) {
             idle_streak = 0;
             ++now_;
-        } else {
+        } else if (cfg_.eventSkip) {
             ++idle_streak;
             SP_ASSERT(idle_streak < 1000,
                       "no forward progress for 1000 events at cycle ", now_);
             skipIdleCycles();
+        } else {
+            // Oracle tick loop (FastForwardBitIdentity baseline): one
+            // cycle at a time. The streak here counts idle *cycles*,
+            // which legitimately run to thousands while a flush drains,
+            // so liveness is proven periodically instead of per event.
+            if (++idle_streak % 65536 == 0) {
+                SP_ASSERT(nextEventTick() != kTickNever,
+                          "no future event after ", idle_streak,
+                          " idle cycles at cycle ", now_);
+            }
+            ++now_;
         }
         if (cfg_.maxCycles && now_ > cfg_.maxCycles) {
             // Safety valve: report, don't kill the process. The caller

@@ -33,9 +33,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -147,6 +149,16 @@ class OooCore
     const BloomFilter &bloom() const { return bloom_; }
     const EpochManager &epochs() const { return epochs_; }
 
+    // --- Bounded-state diagnostics (long-run steady-state tests) --------
+    /** Undelivered persist-ack ticks currently tracked. */
+    size_t persistAckBacklog() const { return persistAcks_.size(); }
+    /** pcommit flush flights currently tracked. */
+    size_t flushFlightBacklog() const { return flushes_.size(); }
+    /** Dispatched-but-unissued window size. */
+    size_t unissuedBacklog() const { return unissuedCount_; }
+    /** Reorder-buffer occupancy. */
+    size_t robOccupancy() const { return rob_.size(); }
+
   private:
     /** One in-flight dynamic micro-op. */
     struct DynOp
@@ -156,6 +168,8 @@ class OooCore
         uint64_t seq = 0;
         /** Program cursor just past this op's source (rollback point). */
         uint64_t nextCursor = 0;
+        /** Next seq in this op's dependence-wait chain (0 = end). */
+        uint64_t waitNext = 0;
         bool issued = false;
         /** Completion tick, valid once issued. */
         Tick readyAt = 0;
@@ -195,13 +209,44 @@ class OooCore
     Tick now_ = 0;
     std::deque<DynOp> fetchQ_;
     std::deque<DynOp> rob_;
-    /** Seqs of dispatched but un-issued ops, program order. */
-    std::deque<uint64_t> unissued_;
+
+    /**
+     * Event-driven issue wakeup. Scanning the whole issue window every
+     * cycle was the simulator's hottest loop; instead every dispatched
+     * op lives in exactly one of three places until it issues:
+     *  - readySeqs_: dependence satisfied; a min-heap on seq so ready
+     *    ops still issue oldest-first, exactly like the former scan;
+     *  - pendingWakes_: dependence completion tick known but in the
+     *    future; a min-heap on that tick, drained into readySeqs_;
+     *  - a wait chain hanging off the producer's doneAt_ ring slot
+     *    (waitHead_[slot] -> DynOp::waitNext), moved to pendingWakes_
+     *    the moment the producer executes and its tick becomes known.
+     * The reachable-ready sets per cycle are identical to the scan's,
+     * so issue order and timing are bit-identical.
+     */
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<uint64_t>>
+        readySeqs_;
+    struct PendingWake
+    {
+        Tick at;
+        uint64_t seq;
+        bool operator>(const PendingWake &o) const
+        {
+            return at > o.at;
+        }
+    };
+    std::priority_queue<PendingWake, std::vector<PendingWake>,
+                        std::greater<PendingWake>>
+        pendingWakes_;
+    std::vector<uint64_t> waitHead_;
+    /** Dispatched-but-unissued ops (issue-queue occupancy). */
+    unsigned unissuedCount_ = 0;
+
     unsigned lsqCount_ = 0;
     uint64_t nextSeq_ = 1;
     /** Remaining repeats of an ALU RLE group being expanded by fetch. */
     unsigned pendingAlu_ = 0;
-    uint8_t pendingAluDep_ = 0;
     uint64_t pendingAluCursor_ = 0;
     bool programEnded_ = false;
 
@@ -299,6 +344,7 @@ class OooCore
     // --- Conditions ---------------------------------------------------------
     bool storeBufferEmpty() const;
     bool persistAcksDone() const;
+    void compactPersistState();
     void updateFlushAcks();
     bool flushesAcked() const;
     bool anyFlushOutstanding() const;
@@ -313,6 +359,8 @@ class OooCore
     DynOp *findBySeq(uint64_t seq);
     bool depReady(const DynOp &op) const;
     Tick depReadyAt(const DynOp &op) const;
+    void enqueueForIssue(DynOp &op);
+    void clearIssueQueues();
     void executeOp(DynOp &op);
     void releaseRetired(uint64_t nextCursor);
 };

@@ -160,29 +160,36 @@ MemCtrl::startFlush(Tick now)
 {
     lastNow_ = std::max(lastNow_, now);
     uint64_t id = nextFlushId_++;
-    Flush flush;
-    flush.marker = nextSeq_ - 1;
-    flush.complete = drainedSeq_ >= flush.marker;
-    flush.startedAt = now;
-    flushes_.emplace(id, flush);
-    if (flush.complete && stats_)
-        stats_->flushLatency.record(0);
-    if (!flush.complete) {
-        incompleteIds_.push_back(id);
-        ++activeFlushes_;
+    uint64_t marker = nextSeq_ - 1;
+    bool complete = drainedSeq_ >= marker;
+    if (complete) {
+        // Markers are monotone and updateFlushes() runs at every drain,
+        // so a flush that completes at birth proves nothing older is
+        // still pending.
+        SP_ASSERT(pending_.empty(),
+                  "complete-at-birth flush behind a pending one");
+        firstPendingId_ = id + 1;
+        if (stats_) {
+            stats_->flushLatency.record(0);
+            stats_->maxInflightPcommits =
+                std::max<uint64_t>(stats_->maxInflightPcommits, 1);
+        }
+    } else {
+        if (pending_.empty())
+            firstPendingId_ = id;
+        SP_ASSERT(firstPendingId_ + pending_.size() == id,
+                  "pending flush ids must be contiguous");
+        pending_.push_back({marker, now});
         if (stats_) {
             stats_->maxInflightPcommits =
                 std::max<uint64_t>(stats_->maxInflightPcommits,
-                                   activeFlushes_);
+                                   pending_.size());
         }
-    } else if (stats_) {
-        stats_->maxInflightPcommits =
-            std::max<uint64_t>(stats_->maxInflightPcommits, 1);
     }
     if (tracer_ && tracer_->enabled(kTraceMem)) {
         tracer_->asyncBegin(kTraceMem, "pcommit", traceIdBase_ + id, now,
-                            "\"marker\":" + std::to_string(flush.marker));
-        if (flush.complete) {
+                            "\"marker\":" + std::to_string(marker));
+        if (complete) {
             // Nothing older was pending: the span closes immediately.
             tracer_->asyncEnd(kTraceMem, "pcommit", traceIdBase_ + id,
                               now);
@@ -194,35 +201,30 @@ MemCtrl::startFlush(Tick now)
 bool
 MemCtrl::flushComplete(uint64_t id) const
 {
-    auto it = flushes_.find(id);
-    SP_ASSERT(it != flushes_.end(), "unknown flush id ", id);
-    return it->second.complete;
+    SP_ASSERT(id >= 1 && id < nextFlushId_, "unknown flush id ", id);
+    if (pending_.empty() || id < firstPendingId_)
+        return true;
+    size_t idx = static_cast<size_t>(id - firstPendingId_);
+    SP_ASSERT(idx < pending_.size(), "flush id ", id,
+              " beyond the pending range");
+    return drainedSeq_ >= pending_[idx].marker;
 }
 
 void
 MemCtrl::updateFlushes(Tick now)
 {
-    auto still_pending = [this, now](uint64_t id) {
-        Flush &flush = flushes_.at(id);
-        if (drainedSeq_ < flush.marker)
-            return true;
-        flush.complete = true;
-        SP_ASSERT(activeFlushes_ > 0, "flush accounting underflow");
-        --activeFlushes_;
+    // Completion is strictly in id order (markers are monotone), so
+    // finished flushes are exactly a prefix of the pending deque.
+    while (!pending_.empty() && drainedSeq_ >= pending_.front().marker) {
         if (stats_)
-            stats_->flushLatency.record(now - flush.startedAt);
+            stats_->flushLatency.record(now - pending_.front().startedAt);
         if (tracer_ && tracer_->enabled(kTraceMem)) {
-            tracer_->asyncEnd(kTraceMem, "pcommit", traceIdBase_ + id,
-                              now);
+            tracer_->asyncEnd(kTraceMem, "pcommit",
+                              traceIdBase_ + firstPendingId_, now);
         }
-        return false;
-    };
-    incompleteIds_.erase(std::remove_if(incompleteIds_.begin(),
-                                        incompleteIds_.end(),
-                                        [&](uint64_t id) {
-                                            return !still_pending(id);
-                                        }),
-                         incompleteIds_.end());
+        pending_.pop_front();
+        ++firstPendingId_;
+    }
 }
 
 void

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/mem_image.hh"
@@ -113,7 +112,13 @@ class MemCtrl
     bool flushComplete(uint64_t id) const;
 
     /** Flushes started but not yet complete. */
-    unsigned outstandingFlushes() const { return activeFlushes_; }
+    unsigned outstandingFlushes() const
+    {
+        return static_cast<unsigned>(pending_.size());
+    }
+
+    /** Live flush-tracking records (bounded-state diagnostics). */
+    size_t flushRecordCount() const { return pending_.size(); }
 
     /** Extra cycles for a command/ack round trip between core and MC. */
     unsigned roundTrip() const { return cfg_.ctrlRoundTrip; }
@@ -166,11 +171,19 @@ class MemCtrl
         uint8_t data[kBlockBytes];
     };
 
-    struct Flush
+    /**
+     * One incomplete flush. Markers are snapshots of nextSeq_, so they
+     * are monotone in flush id; writes drain in seq order, so flushes
+     * complete strictly in id order. Incomplete flushes therefore form
+     * a contiguous id range [firstPendingId_, firstPendingId_ +
+     * pending_.size()): completion is a front-pop, lookup is an index,
+     * and completed flushes occupy no memory at all -- where the old
+     * unordered_map kept every flush ever started.
+     */
+    struct PendingFlush
     {
         /** All entries with seq <= marker must drain. */
         uint64_t marker;
-        bool complete;
         /** Tick the flush was issued (latency statistics). */
         Tick startedAt;
     };
@@ -196,10 +209,10 @@ class MemCtrl
     Tick lastNow_ = 0;
 
     uint64_t nextFlushId_ = 1;
-    std::unordered_map<uint64_t, Flush> flushes_;
-    /** Ids of flushes not yet complete (kept small for fast drain). */
-    std::vector<uint64_t> incompleteIds_;
-    unsigned activeFlushes_ = 0;
+    /** Incomplete flushes, oldest first; see PendingFlush. */
+    std::deque<PendingFlush> pending_;
+    /** Flush id of pending_.front(); ids below it are complete. */
+    uint64_t firstPendingId_ = 1;
 
     unsigned bankOf(Addr blockAddr) const;
     void updateFlushes(Tick now);

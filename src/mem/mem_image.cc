@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -11,6 +12,7 @@ namespace sp
 
 MemImage::MemImage(const MemImage &other)
 {
+    resetTranslationCache();
     *this = other;
 }
 
@@ -23,36 +25,79 @@ MemImage::operator=(const MemImage &other)
     pages_.reserve(other.pages_.size());
     for (const auto &[num, page] : other.pages_)
         pages_.emplace(num, std::make_unique<Page>(*page));
+    resetTranslationCache();
+    return *this;
+}
+
+MemImage::MemImage(MemImage &&other) noexcept
+    : pages_(std::move(other.pages_))
+{
+    // The moved-from map no longer owns the pages the source's cache
+    // points at; both caches restart cold.
+    resetTranslationCache();
+    other.resetTranslationCache();
+}
+
+MemImage &
+MemImage::operator=(MemImage &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    pages_ = std::move(other.pages_);
+    resetTranslationCache();
+    other.resetTranslationCache();
     return *this;
 }
 
 MemImage::Page *
 MemImage::findPage(Addr addr)
 {
-    auto it = pages_.find(addr / kPageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    uint64_t num = addr / kPageBytes;
+    unsigned slot = num % kTransSlots;
+    if (transNum_[slot] == num)
+        return transPage_[slot];
+    auto it = pages_.find(num);
+    if (it == pages_.end())
+        return nullptr;
+    transNum_[slot] = num;
+    transPage_[slot] = it->second.get();
+    return transPage_[slot];
 }
 
 const MemImage::Page *
 MemImage::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr / kPageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    uint64_t num = addr / kPageBytes;
+    unsigned slot = num % kTransSlots;
+    if (transNum_[slot] == num)
+        return transPage_[slot];
+    auto it = pages_.find(num);
+    if (it == pages_.end())
+        return nullptr;
+    transNum_[slot] = num;
+    transPage_[slot] = it->second.get();
+    return transPage_[slot];
 }
 
 MemImage::Page &
 MemImage::ensurePage(Addr addr)
 {
-    auto &slot = pages_[addr / kPageBytes];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
+    uint64_t num = addr / kPageBytes;
+    unsigned slot = num % kTransSlots;
+    if (transNum_[slot] == num)
+        return *transPage_[slot];
+    auto &owned = pages_[num];
+    if (!owned) {
+        owned = std::make_unique<Page>();
+        owned->fill(0);
     }
-    return *slot;
+    transNum_[slot] = num;
+    transPage_[slot] = owned.get();
+    return *owned;
 }
 
 void
-MemImage::read(Addr addr, void *out, unsigned size) const
+MemImage::readSlow(Addr addr, void *out, unsigned size) const
 {
     auto *dst = static_cast<uint8_t *>(out);
     while (size > 0) {
@@ -70,7 +115,7 @@ MemImage::read(Addr addr, void *out, unsigned size) const
 }
 
 void
-MemImage::write(Addr addr, const void *in, unsigned size)
+MemImage::writeSlow(Addr addr, const void *in, unsigned size)
 {
     auto *src = static_cast<const uint8_t *>(in);
     while (size > 0) {
@@ -82,22 +127,6 @@ MemImage::write(Addr addr, const void *in, unsigned size)
         src += chunk;
         size -= chunk;
     }
-}
-
-uint64_t
-MemImage::readInt(Addr addr, unsigned size) const
-{
-    SP_ASSERT(size >= 1 && size <= 8, "readInt size out of range");
-    uint64_t v = 0;
-    read(addr, &v, size);
-    return v;
-}
-
-void
-MemImage::writeInt(Addr addr, uint64_t value, unsigned size)
-{
-    SP_ASSERT(size >= 1 && size <= 8, "writeInt size out of range");
-    write(addr, &value, size);
 }
 
 uint64_t

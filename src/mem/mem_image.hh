@@ -14,9 +14,11 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace sp
@@ -28,23 +30,59 @@ class MemImage
   public:
     static constexpr unsigned kPageBytes = 4096;
 
-    MemImage() = default;
+    MemImage() { resetTranslationCache(); }
     MemImage(const MemImage &other);
     MemImage &operator=(const MemImage &other);
-    MemImage(MemImage &&) noexcept = default;
-    MemImage &operator=(MemImage &&) noexcept = default;
+    MemImage(MemImage &&other) noexcept;
+    MemImage &operator=(MemImage &&other) noexcept;
 
-    /** Read `size` bytes at `addr`; unwritten bytes read as zero. */
-    void read(Addr addr, void *out, unsigned size) const;
+    /**
+     * Read `size` bytes at `addr`; unwritten bytes read as zero.
+     *
+     * Functional workload execution performs tens of millions of these
+     * per simulated run, so the translation-cache hit path (same page,
+     * no page crossing) is inline; everything else takes the slow path.
+     */
+    void read(Addr addr, void *out, unsigned size) const
+    {
+        uint64_t num = addr / kPageBytes;
+        unsigned off = static_cast<unsigned>(addr % kPageBytes);
+        unsigned slot = static_cast<unsigned>(num % kTransSlots);
+        if (off + size <= kPageBytes && transNum_[slot] == num) {
+            std::memcpy(out, transPage_[slot]->data() + off, size);
+            return;
+        }
+        readSlow(addr, out, size);
+    }
 
     /** Write `size` bytes at `addr`. */
-    void write(Addr addr, const void *in, unsigned size);
+    void write(Addr addr, const void *in, unsigned size)
+    {
+        uint64_t num = addr / kPageBytes;
+        unsigned off = static_cast<unsigned>(addr % kPageBytes);
+        unsigned slot = static_cast<unsigned>(num % kTransSlots);
+        if (off + size <= kPageBytes && transNum_[slot] == num) {
+            std::memcpy(transPage_[slot]->data() + off, in, size);
+            return;
+        }
+        writeSlow(addr, in, size);
+    }
 
     /** Read up to 8 bytes as a little-endian integer. */
-    uint64_t readInt(Addr addr, unsigned size) const;
+    uint64_t readInt(Addr addr, unsigned size) const
+    {
+        SP_ASSERT(size >= 1 && size <= 8, "readInt size out of range");
+        uint64_t v = 0;
+        read(addr, &v, size);
+        return v;
+    }
 
     /** Write up to 8 bytes as a little-endian integer. */
-    void writeInt(Addr addr, uint64_t value, unsigned size);
+    void writeInt(Addr addr, uint64_t value, unsigned size)
+    {
+        SP_ASSERT(size >= 1 && size <= 8, "writeInt size out of range");
+        write(addr, &value, size);
+    }
 
     /** Copy one cache block (64B) out of the image. */
     void readBlock(Addr blockAddr, uint8_t *out) const;
@@ -64,7 +102,11 @@ class MemImage
     uint64_t hash() const;
 
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void clear()
+    {
+        pages_.clear();
+        resetTranslationCache();
+    }
 
   private:
     using Page = std::array<uint8_t, kPageBytes>;
@@ -72,9 +114,33 @@ class MemImage
     /** Pages are heap-allocated so the map stays cheap to rehash. */
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
 
+    /**
+     * Direct-mapped page-translation cache in front of the hash map.
+     * Functional execution reads and writes the same handful of pages
+     * over and over (tree nodes, the log tail), so nearly every access
+     * resolves here without hashing. Page storage is heap-owned and
+     * never moves under rehash, so cached pointers stay valid until the
+     * map itself is cleared or replaced (which resets the cache). Only
+     * present pages are cached: a negative entry would go stale the
+     * moment ensurePage() materializes the page elsewhere.
+     */
+    static constexpr unsigned kTransSlots = 64;
+    mutable std::array<uint64_t, kTransSlots> transNum_;
+    mutable std::array<Page *, kTransSlots> transPage_;
+
+    static constexpr uint64_t kNoPageNum = ~0ull;
+
+    void resetTranslationCache()
+    {
+        transNum_.fill(kNoPageNum);
+        transPage_.fill(nullptr);
+    }
+
     Page *findPage(Addr addr);
     const Page *findPage(Addr addr) const;
     Page &ensurePage(Addr addr);
+    void readSlow(Addr addr, void *out, unsigned size) const;
+    void writeSlow(Addr addr, const void *in, unsigned size);
 };
 
 } // namespace sp

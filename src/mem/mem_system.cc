@@ -42,6 +42,24 @@ MemSystem::advanceTo(Tick now)
 {
     for (auto &ctrl : ctrls_)
         ctrl->advanceTo(now);
+    // Prune completed system flushes from the front. Completion is in
+    // id order on every controller, so a complete front means nothing
+    // behind it can be blocking anyone's bookkeeping growth.
+    size_t n = ctrls_.size();
+    while (!flushParts_.empty()) {
+        bool complete = true;
+        for (size_t c = 0; c < n; ++c) {
+            if (!ctrls_[c]->flushComplete(flushParts_[c])) {
+                complete = false;
+                break;
+            }
+        }
+        if (!complete)
+            break;
+        flushParts_.erase(flushParts_.begin(),
+                          flushParts_.begin() + static_cast<long>(n));
+        ++firstFlushId_;
+    }
 }
 
 Tick
@@ -90,25 +108,29 @@ uint64_t
 MemSystem::startFlush(Tick now)
 {
     uint64_t id = nextFlushId_++;
-    std::vector<uint64_t> parts;
-    parts.reserve(ctrls_.size());
-    // Broadcast: every controller must flush and acknowledge. The
-    // controllers each track their own max-in-flight statistic; guard
-    // against double counting by letting only controller 0 keep stats
-    // for the flush-count metrics.
+    if (flushParts_.empty())
+        firstFlushId_ = id;
+    SP_ASSERT(firstFlushId_ + flushRecordCount() == id,
+              "system flush ids must be contiguous");
+    // Broadcast: every controller must flush and acknowledge.
     for (auto &ctrl : ctrls_)
-        parts.push_back(ctrl->startFlush(now));
-    flushes_.emplace(id, std::move(parts));
+        flushParts_.push_back(ctrl->startFlush(now));
     return id;
 }
 
 bool
 MemSystem::flushComplete(uint64_t id) const
 {
-    auto it = flushes_.find(id);
-    SP_ASSERT(it != flushes_.end(), "unknown system flush id ", id);
-    for (size_t c = 0; c < ctrls_.size(); ++c) {
-        if (!ctrls_[c]->flushComplete(it->second[c]))
+    SP_ASSERT(id >= 1 && id < nextFlushId_, "unknown system flush id ",
+              id);
+    if (id < firstFlushId_)
+        return true;
+    size_t n = ctrls_.size();
+    size_t base = static_cast<size_t>(id - firstFlushId_) * n;
+    SP_ASSERT(base < flushParts_.size(), "system flush id ", id,
+              " beyond the pending range");
+    for (size_t c = 0; c < n; ++c) {
+        if (!ctrls_[c]->flushComplete(flushParts_[base + c]))
             return false;
     }
     return true;

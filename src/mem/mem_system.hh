@@ -14,8 +14,8 @@
 #ifndef SP_MEM_MEM_SYSTEM_HH
 #define SP_MEM_MEM_SYSTEM_HH
 
+#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/mem_ctrl.hh"
@@ -108,13 +108,28 @@ class MemSystem
     /** Direct access for controller-level tests. */
     MemCtrl &ctrl(unsigned i) { return *ctrls_[i]; }
 
+    /** Live flush-tracking records (bounded-state diagnostics). */
+    size_t flushRecordCount() const
+    {
+        return flushParts_.size() / ctrls_.size();
+    }
+
   private:
     std::vector<std::unique_ptr<MemCtrl>> ctrls_;
     Stats *stats_ = nullptr;
 
     uint64_t nextFlushId_ = 1;
-    /** System flush id -> per-controller flush ids (index = ctrl). */
-    std::unordered_map<uint64_t, std::vector<uint64_t>> flushes_;
+    /**
+     * Per-controller flush ids of system flushes not yet pruned, flat:
+     * system flush firstFlushId_+k owns entries [k*N, (k+1)*N) for N
+     * controllers. Controllers complete their flushes in id order, so
+     * finished system flushes are a prefix; advanceTo() pops them,
+     * keeping the deque bounded by the number of flushes genuinely in
+     * flight (the old map kept every flush ever started). Ids below
+     * firstFlushId_ are complete by construction.
+     */
+    std::deque<uint64_t> flushParts_;
+    uint64_t firstFlushId_ = 1;
 
     unsigned ownerOf(Addr blockAddr) const;
 };

@@ -152,10 +152,17 @@ OpEmitter::load(Addr addr, unsigned size, Handle dep, Handle *handle)
         return shadowRead(addr, size);
     }
     uint64_t value = image_.readInt(addr, size);
+    // Init-phase (muted) emission is a no-op; skip even constructing the
+    // micro-op -- tens of millions flow through here per run.
+    if (muted_) {
+        if (handle)
+            *handle = kNoDep;
+        return value;
+    }
     emit(MicroOp::load(addr, static_cast<uint8_t>(size),
                        depDistance(dep)));
     if (handle)
-        *handle = muted_ ? kNoDep : emitted_;
+        *handle = emitted_;
     return value;
 }
 
@@ -168,6 +175,8 @@ OpEmitter::store(Addr addr, uint64_t value, unsigned size, Handle dep)
         return;
     }
     image_.writeInt(addr, value, size);
+    if (muted_)
+        return;
     emit(MicroOp::store(addr, value, static_cast<uint8_t>(size),
                         depDistance(dep)));
 }
@@ -175,6 +184,8 @@ OpEmitter::store(Addr addr, uint64_t value, unsigned size, Handle dep)
 void
 OpEmitter::alu(unsigned count, Handle dep)
 {
+    if (muted_ || shadow_)
+        return;
     while (count > 0) {
         uint16_t chunk =
             static_cast<uint16_t>(std::min<unsigned>(count, 0xffff));
@@ -187,13 +198,20 @@ OpEmitter::alu(unsigned count, Handle dep)
 OpEmitter::Handle
 OpEmitter::aluChain(unsigned count, Handle dep)
 {
+    if (count == 0)
+        return dep;
+    // Muted (init phase) and shadow passes emit nothing; skip the
+    // per-element loop entirely -- workload init runs billions of chain
+    // elements through here.
+    if (muted_ || shadow_)
+        return kNoDep;
     // One micro-op per chain element: each occupies a ROB slot, so a
     // stalled fence can only overlap as much serial work as the reorder
     // buffer actually holds -- compressing the chain into multi-cycle
     // entries would let fences hide under impossibly deep lookahead.
     for (unsigned i = 0; i < count; ++i) {
         emit(MicroOp::aluChain(1, depDistance(dep)));
-        dep = muted_ || shadow_ ? kNoDep : emitted_;
+        dep = emitted_;
     }
     return dep;
 }
@@ -214,7 +232,7 @@ OpEmitter::memcpy(Addr dst, Addr src, unsigned len, Handle dep)
 void
 OpEmitter::clwb(Addr addr)
 {
-    if (mode_ < PersistMode::kLogP)
+    if (mode_ < PersistMode::kLogP || muted_ || shadow_)
         return;
     emit(evictOnPersist_ ? MicroOp::clflushOpt(addr) : MicroOp::clwb(addr));
 }

@@ -121,6 +121,16 @@ struct SimConfig
     /** Fault-injection knobs (all off by default). */
     FaultConfig fault;
     /**
+     * Event-driven fast-forward: when a cycle makes no progress, jump
+     * straight to the next tick at which any component can act (pcommit
+     * completion, cache fill, WPQ drain, injector probe, sampler) and
+     * account the skipped stall cycles in bulk. Stats, trace summaries,
+     * and memory images are bit-identical to the one-cycle-at-a-time
+     * baseline loop (guarded by FastForwardBitIdentity); `false` selects
+     * that baseline loop, which exists as the oracle for the test.
+     */
+    bool eventSkip = true;
+    /**
      * Safety valve: terminate the run after this many cycles (0 =
      * unlimited). Hitting it is a reported per-run outcome
      * (RunOutcome::kMaxCycles), not a fatal error, so one runaway

@@ -1,0 +1,7 @@
+# Runs at ctest load time, after gtest_discover_tests' own include has
+# registered the sp_fastforward_tests cases (and set the
+# <target>_TESTS variable). Here the label list is a plain literal, so
+# the semicolon survives — see the note in CMakeLists.txt.
+foreach(t ${sp_fastforward_tests_TESTS})
+    set_tests_properties(${t} PROPERTIES LABELS "determinism;fastforward")
+endforeach()

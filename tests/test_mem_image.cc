@@ -113,3 +113,35 @@ TEST(MemImage, BulkWriteRead)
     img.read(0x7ff0, back.data(), static_cast<unsigned>(back.size()));
     EXPECT_EQ(data, back);
 }
+
+// hash() must be a pure function of image *contents*: page-table
+// iteration order (which varies with insertion order and rehash
+// history) must never leak into it.
+TEST(MemImage, HashIsInsertionOrderIndependent)
+{
+    MemImage forward, backward;
+    for (int i = 0; i < 64; ++i)
+        forward.writeInt(0x10000 + i * MemImage::kPageBytes, i + 1, 8);
+    for (int i = 63; i >= 0; --i)
+        backward.writeInt(0x10000 + i * MemImage::kPageBytes, i + 1, 8);
+    EXPECT_EQ(forward.hash(), backward.hash());
+
+    // All-zero pages hash like absent ones.
+    MemImage zeros = forward;
+    zeros.writeInt(0x900000, 0, 8);
+    EXPECT_EQ(zeros.hash(), forward.hash());
+}
+
+// Golden pin: the determinism suites compare hashes across schedules
+// within one process, which would not notice the function itself
+// silently changing (e.g. an "optimization" that hashes pages in table
+// order). This constant was produced by the shipped implementation; a
+// mismatch means recorded baselines are invalidated.
+TEST(MemImage, HashMatchesGoldenConstant)
+{
+    MemImage img;
+    img.writeInt(0x1000, 0x1122334455667788ULL, 8);
+    img.writeInt(0x2000, 0xdeadbeefULL, 4);
+    img.writeInt(0x7fff, 0xabULL, 1); // page-crossing neighborhood
+    EXPECT_EQ(img.hash(), UINT64_C(0xce823710007404c2));
+}
