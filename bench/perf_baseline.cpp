@@ -15,6 +15,11 @@
  *   - smoke: one mid-sized SP configuration, small enough for CI. It
  *     runs three repetitions and keeps the best wall time so a transient
  *     load spike on the CI machine does not read as a regression.
+ *   - smoke_audit: the same cell with the durability audit attached.
+ *     It has no absolute baseline entry (and --check skips suites
+ *     without one); instead --check gates it *relative* to smoke --
+ *     identical simulated cycles (the audit is a pure observer) and at
+ *     most the tolerance fraction of cycles/sec lost to bookkeeping.
  *
  * Per suite it reports simulated cycles, wall seconds, simulated
  * cycles/second, and heap allocations (counted by the interposed
@@ -180,12 +185,22 @@ smokeGrid()
                           256, 0.25)};
 }
 
+std::vector<RunConfig>
+smokeAuditGrid()
+{
+    std::vector<RunConfig> grid = smokeGrid();
+    for (RunConfig &cfg : grid)
+        cfg.audit.enabled = true;
+    return grid;
+}
+
 SuiteResult
-runSmokeBestOf(unsigned reps)
+runSmokeBestOf(unsigned reps, const std::string &name,
+               const std::vector<RunConfig> &grid)
 {
     SuiteResult best;
     for (unsigned i = 0; i < reps; ++i) {
-        SuiteResult r = runSuite("smoke", smokeGrid());
+        SuiteResult r = runSuite(name, grid);
         if (i == 0 || r.wallSeconds < best.wallSeconds)
             best = r;
     }
@@ -264,6 +279,14 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
     }
 
     int failures = 0;
+    const SuiteResult *smoke = nullptr;
+    const SuiteResult *smokeAudit = nullptr;
+    for (const SuiteResult &s : measured) {
+        if (s.name == "smoke")
+            smoke = &s;
+        else if (s.name == "smoke_audit")
+            smokeAudit = &s;
+    }
     for (const SuiteResult &s : measured) {
         double baseline = 0;
         if (!extractCyclesPerSec(json, s.name, &baseline)) {
@@ -277,6 +300,29 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
                     "  (%+5.1f%%)  %s\n",
                     s.name.c_str(), s.cyclesPerSec(), baseline,
                     (ratio - 1.0) * 100.0, ok ? "ok" : "REGRESSION");
+        if (!ok)
+            ++failures;
+    }
+
+    // The audit cell is gated relative to the plain smoke cell measured
+    // in the same process, so it needs no per-machine baseline entry.
+    if (smoke && smokeAudit) {
+        if (smokeAudit->simCycles != smoke->simCycles) {
+            std::printf("check %-15s simulated %llu cycles vs smoke's "
+                        "%llu  PERTURBED (audit must be an observer)\n",
+                        smokeAudit->name.c_str(),
+                        static_cast<unsigned long long>(
+                            smokeAudit->simCycles),
+                        static_cast<unsigned long long>(smoke->simCycles));
+            ++failures;
+        }
+        double ratio = smokeAudit->cyclesPerSec() / smoke->cyclesPerSec();
+        bool ok = ratio >= 1.0 - tolerance;
+        std::printf("check %-15s %12.0f cyc/s vs smoke %12.0f"
+                    "  (%+5.1f%%)  %s\n",
+                    smokeAudit->name.c_str(), smokeAudit->cyclesPerSec(),
+                    smoke->cyclesPerSec(), (ratio - 1.0) * 100.0,
+                    ok ? "ok" : "AUDIT OVERHEAD");
         if (!ok)
             ++failures;
     }
@@ -319,7 +365,9 @@ main(int argc, char **argv)
         results.push_back(runSuite("fault_campaign", faultCampaignGrid()));
         printSuite(results.back());
     }
-    results.push_back(runSmokeBestOf(3));
+    results.push_back(runSmokeBestOf(3, "smoke", smokeGrid()));
+    printSuite(results.back());
+    results.push_back(runSmokeBestOf(3, "smoke_audit", smokeAuditGrid()));
     printSuite(results.back());
 
     if (!outPath.empty()) {

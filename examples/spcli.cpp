@@ -15,6 +15,15 @@
  *         [--crash-matrix=N] [--campaign-csv=FILE]
  *         [--trace] [--trace=FILE] [--trace-csv=FILE]
  *         [--trace-categories=LIST] [--sample-every=N]
+ *         [--audit[=FILE]]
+ *
+ * Durability audit:
+ *   --audit             attach the DurabilityAuditor (sim/audit.hh) to
+ *                       the run: happens-before-durable checking of the
+ *                       retired op stream. Prints the findings and the
+ *                       machine-readable report; with =FILE also writes
+ *                       the JSON report there. Exits 1 when the audit
+ *                       finds violations.
  *
  * Fault injection:
  *   --inject-conflicts  arm the conflict adversary (optionally choosing
@@ -87,7 +96,13 @@ usage(const char *msg = nullptr)
         "             [--torn-writes] [--jitter=N] [--max-cycles=N]\n"
         "             [--crash-matrix=N] [--campaign-csv=FILE]\n"
         "             [--trace] [--trace=FILE] [--trace-csv=FILE]\n"
-        "             [--trace-categories=LIST] [--sample-every=N]\n";
+        "             [--trace-categories=LIST] [--sample-every=N]\n"
+        "             [--audit[=FILE]]\n"
+        "\n"
+        "  --audit      durability audit of the retired op stream\n"
+        "               (missing/late clwb, unordered flushes, redundant\n"
+        "               barriers); =FILE writes the JSON report; exit 1\n"
+        "               on violations\n";
     std::exit(msg ? 1 : 0);
 }
 
@@ -117,6 +132,8 @@ main(int argc, char **argv)
     std::string trace_csv_file;
     uint32_t trace_cats = 0;
     unsigned sample_every = 0;
+    bool audit = false;
+    std::string audit_file;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -246,6 +263,11 @@ main(int argc, char **argv)
         } else if (flag == "--sample-every") {
             sample_every = static_cast<unsigned>(
                 parseNum(value().c_str(), "--sample-every"));
+        } else if (flag == "--audit") {
+            audit = true;
+            cfg.audit.enabled = true;
+            if (has_inline)
+                audit_file = inline_value;
         } else {
             usage(("unknown flag " + flag).c_str());
         }
@@ -397,6 +419,41 @@ main(int argc, char **argv)
                   << "\n\n";
     }
 
+    bool audit_dirty = false;
+    if (audit) {
+        const AuditReport &rep = r.audit;
+        audit_dirty = !rep.clean();
+        std::cout << "audit: " << (rep.clean() ? "clean" : "VIOLATIONS")
+                  << " -- " << rep.stores << " stores, " << rep.flushes
+                  << " flushes, " << rep.pcommits << " pcommits, "
+                  << rep.fences << " fences, " << rep.epochs
+                  << " epochs; " << rep.redundantFlushes
+                  << " redundant flushes, " << rep.redundantFences
+                  << " redundant fences, " << rep.redundantPcommits
+                  << " redundant pcommits\n";
+        for (const AuditFinding &f : rep.findings)
+            std::cout << "  " << f.toString() << "\n";
+        if (rep.findingsTruncated)
+            std::cout << "  (findings truncated)\n";
+        std::string doc = rep.toJson();
+        std::string err;
+        if (!jsonIsValid(doc, &err)) {
+            std::cerr << "spcli: audit JSON failed self-check: " << err
+                      << "\n";
+            return 1;
+        }
+        if (!audit_file.empty()) {
+            std::ofstream out(audit_file);
+            if (!out) {
+                std::cerr << "spcli: cannot write " << audit_file << "\n";
+                return 1;
+            }
+            out << doc << "\n";
+            std::cout << "audit: wrote " << audit_file << "\n";
+        }
+        std::cout << "audit report: " << doc << "\n\n";
+    }
+
     if (csv) {
         std::cout << statsCsvHeader() << "\n"
                   << statsCsvRow(workloadKindName(cfg.kind), r.stats)
@@ -408,5 +465,5 @@ main(int argc, char **argv)
             r.stats.flushLatency.print(std::cout, "    ");
         }
     }
-    return 0;
+    return audit_dirty ? 1 : 0;
 }

@@ -442,6 +442,17 @@ OooCore::countRetired(const DynOp &op)
       case OpType::kAluChain:
         break;
     }
+    // Durability audit tap: retirement is the one point every op passes
+    // in program order on every path (including the store+fence
+    // peephole). Speculative aborts rewind the program and re-deliver
+    // ops, so the cursor guard keeps each dynamic op to one observation;
+    // ALU ops carry no durability information and are skipped to keep
+    // the audit off the serial-chain fast path.
+    if (auditor_ && op.op.type != OpType::kAlu &&
+        op.op.type != OpType::kAluChain && op.nextCursor > auditedCursor_) {
+        auditedCursor_ = op.nextCursor;
+        auditor_->observe(op.op, op.nextCursor - 1, now_);
+    }
 }
 
 void

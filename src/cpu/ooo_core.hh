@@ -47,6 +47,7 @@
 #include "core/epoch_manager.hh"
 #include "core/ssb.hh"
 #include "isa/program.hh"
+#include "sim/audit.hh"
 #include "sim/fault.hh"
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
@@ -132,6 +133,14 @@ class OooCore
      * counters. The caller keeps ownership of the tracer.
      */
     void setTracer(Tracer *tracer);
+
+    /**
+     * Attach a durability auditor (may be null = audit off). The core
+     * feeds it every retired non-ALU op exactly once, in program order,
+     * deduplicated across speculative abort/replay by the op's program
+     * cursor. Pure observer: attaching it never changes timing.
+     */
+    void setAuditor(DurabilityAuditor *auditor) { auditor_ = auditor; }
 
     /**
      * Stream a human-readable event trace (retirements, speculation
@@ -279,6 +288,9 @@ class OooCore
     // --- Tracing ----------------------------------------------------------
     /** Event bus; null = tracing off (the bit-identical fast path). */
     Tracer *tracer_ = nullptr;
+    DurabilityAuditor *auditor_ = nullptr;
+    /** Program cursor already fed to the auditor (abort/replay dedup). */
+    uint64_t auditedCursor_ = 0;
     /** Backing tracer for the legacy setTraceSink() text interface. */
     std::unique_ptr<Tracer> ownedTracer_;
     /** Start of the fence-stall interval in progress; kTickNever = none. */

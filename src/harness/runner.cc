@@ -82,6 +82,13 @@ describeRunConfig(const RunConfig &cfg)
         os << " maxCycles=" << cfg.sim.maxCycles;
     if (cfg.probePeriod)
         os << " probePeriod=" << cfg.probePeriod;
+    if (cfg.audit.enabled) {
+        os << " audit=1";
+        if (cfg.audit.failOnViolation)
+            os << " auditFail=1";
+    }
+    if (cfg.params.mutation.active())
+        os << " mut=" << describeMutation(cfg.params.mutation);
     return os.str();
 }
 
@@ -122,6 +129,12 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
                  result.stats);
     if (tracer)
         core.setTracer(tracer);
+    std::unique_ptr<DurabilityAuditor> auditor;
+    if (cfg.audit.enabled) {
+        auditor = std::make_unique<DurabilityAuditor>(
+            cfg.audit, cfg.sim.mem.numMemCtrls);
+        core.setAuditor(auditor.get());
+    }
     if (cfg.probePeriod != 0) {
         // Target the hot region: workload metadata, the undo log, and the
         // first stretch of the heap -- where speculative writes live.
@@ -170,6 +183,10 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
     }
     if (tracer)
         result.trace = tracer->summary();
+    // finalize() last: with failOnViolation it throws, and the sweep's
+    // failure record should describe a fully assembled run.
+    if (auditor)
+        result.audit = auditor->finalize();
     return result;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "mem/mem_image.hh"
+#include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -40,6 +41,15 @@ struct RunConfig
      * Stats and the durable image are bit-identical either way.
      */
     TraceOptions trace;
+    /**
+     * Durability-audit knobs. enabled == false (the default) is audit
+     * fully off; on, the runner attaches a DurabilityAuditor to the core
+     * and fills RunResult::audit. Like tracing, the audit is a pure
+     * observer: Stats and the durable image are bit-identical either
+     * way. With audit.failOnViolation, runExperiment throws
+     * std::runtime_error on a dirty report so sweep cells record it.
+     */
+    AuditOptions audit;
 };
 
 /**
@@ -78,6 +88,8 @@ struct RunResult
     uint64_t functionalGeneration = 0;
     /** Condensed trace view (enabled == false when tracing was off). */
     TraceSummary trace;
+    /** Durability-audit report (enabled == false when audit was off). */
+    AuditReport audit;
 };
 
 /**

@@ -255,6 +255,15 @@ summarizeSweep(const std::vector<SweepRunResult> &results)
             s.fenceStall.merge(r.run.trace.fenceStall);
             s.epochDuration.merge(r.run.trace.epochDuration);
         }
+        if (r.run.audit.enabled) {
+            ++s.auditedRuns;
+            if (r.run.audit.clean())
+                ++s.auditCleanRuns;
+            s.auditFindings += r.run.audit.findings.size();
+            s.auditViolationEdges += r.run.audit.violationEdges;
+            s.auditRedundantBarriers += r.run.audit.redundantFlushes +
+                r.run.audit.redundantFences + r.run.audit.redundantPcommits;
+        }
     }
     if (s.runs == 0) {
         s.minCycles = 0;
@@ -337,6 +346,11 @@ SweepSummary::toJson() const
     };
     hist("fenceStall", fenceStall);
     hist("epochDuration", epochDuration);
+    os << ",\"auditedRuns\":" << auditedRuns
+       << ",\"auditCleanRuns\":" << auditCleanRuns
+       << ",\"auditFindings\":" << auditFindings
+       << ",\"auditViolationEdges\":" << auditViolationEdges
+       << ",\"auditRedundantBarriers\":" << auditRedundantBarriers;
     os << ",\"failures\":[";
     for (size_t i = 0; i < failures.size(); ++i) {
         const SweepFailureRecord &f = failures[i];

@@ -182,6 +182,18 @@ struct SweepSummary
     /** Epoch async-span durations merged across traced runs. */
     Histogram epochDuration;
 
+    // --- Audit aggregates (zero when no run was audited) -------------------
+    /** Runs whose AuditReport was enabled. */
+    unsigned auditedRuns = 0;
+    /** Audited runs with zero violations. */
+    unsigned auditCleanRuns = 0;
+    /** Distinct violation findings across audited runs. */
+    uint64_t auditFindings = 0;
+    /** Violation edges across audited runs. */
+    uint64_t auditViolationEdges = 0;
+    /** Redundant flushes+fences+pcommits across audited runs. */
+    uint64_t auditRedundantBarriers = 0;
+
     /** One-line JSON object with every field above. */
     std::string toJson() const;
 };

@@ -23,6 +23,60 @@ persistModeName(PersistMode mode)
     return "?";
 }
 
+std::string
+describeMutation(const BarrierMutation &m)
+{
+    if (!m.active())
+        return "";
+    std::string out;
+    switch (m.kind) {
+      case BarrierMutation::Kind::kNone:
+        return "";
+      case BarrierMutation::Kind::kDrop:
+        out = "drop";
+        break;
+      case BarrierMutation::Kind::kDuplicate:
+        out = "dup";
+        break;
+      case BarrierMutation::Kind::kDelay:
+        out = "delay" + std::to_string(m.delayBarriers);
+        break;
+    }
+    switch (m.target) {
+      case BarrierMutation::Target::kClwb:
+        out += ":clwb";
+        break;
+      case BarrierMutation::Target::kSfence:
+        out += ":sfence";
+        break;
+      case BarrierMutation::Target::kPcommit:
+        out += ":pcommit";
+        break;
+    }
+    out += "@" + std::to_string(m.occurrence);
+    return out;
+}
+
+namespace
+{
+
+bool
+mutationTargets(BarrierMutation::Target target, OpType type)
+{
+    switch (target) {
+      case BarrierMutation::Target::kClwb:
+        return type == OpType::kClwb || type == OpType::kClflushOpt ||
+            type == OpType::kClflush;
+      case BarrierMutation::Target::kSfence:
+        return type == OpType::kSfence || type == OpType::kMfence;
+      case BarrierMutation::Target::kPcommit:
+        return type == OpType::kPcommit;
+    }
+    return false;
+}
+
+} // namespace
+
 OpEmitter::OpEmitter(MemImage &image, PersistMode mode)
     : image_(image), mode_(mode)
 {
@@ -63,12 +117,59 @@ OpEmitter::depDistance(Handle dep) const
 }
 
 void
+OpEmitter::emitRaw(const MicroOp &op)
+{
+    queue_.push_back(op);
+    ++emitted_;
+}
+
+void
 OpEmitter::emit(const MicroOp &op)
 {
     if (muted_ || shadow_)
         return;
-    queue_.push_back(op);
-    ++emitted_;
+    if (mutation_.active() && mutateEmit(op))
+        return;
+    emitRaw(op);
+}
+
+bool
+OpEmitter::mutateEmit(const MicroOp &op)
+{
+    if (mutationHolding_) {
+        // Pass everything through while counting barriers, then slot the
+        // held op back in right after the sfence that ends the window.
+        emitRaw(op);
+        if (op.type == OpType::kPcommit)
+            ++mutationPcommitsPassed_;
+        if ((op.type == OpType::kSfence || op.type == OpType::kMfence) &&
+            mutationPcommitsPassed_ >= mutation_.delayBarriers) {
+            mutationHolding_ = false;
+            emitRaw(mutationHeld_);
+        }
+        return true;
+    }
+    if (mutationDone_ || !mutationTargets(mutation_.target, op.type))
+        return false;
+    if (mutationMatches_++ != mutation_.occurrence)
+        return false;
+    mutationDone_ = true;
+    switch (mutation_.kind) {
+      case BarrierMutation::Kind::kNone:
+        return false;
+      case BarrierMutation::Kind::kDrop:
+        return true;
+      case BarrierMutation::Kind::kDuplicate:
+        emitRaw(op);
+        emitRaw(op);
+        return true;
+      case BarrierMutation::Kind::kDelay:
+        mutationHolding_ = true;
+        mutationHeld_ = op;
+        mutationPcommitsPassed_ = 0;
+        return true;
+    }
+    return false;
 }
 
 std::array<uint8_t, kBlockBytes> &

@@ -47,6 +47,55 @@ enum class PersistMode : uint8_t
 
 const char *persistModeName(PersistMode mode);
 
+/**
+ * A single-site barrier mutation for the durability-audit validation
+ * loop: drop, duplicate, or delay the k-th emitted persistence op of a
+ * chosen kind. Mutations never touch the functional image -- a mutant
+ * run computes exactly the same final state -- so any observable
+ * difference is confined to what a crash can expose, which is precisely
+ * what the DurabilityAuditor claims to predict.
+ */
+struct BarrierMutation
+{
+    enum class Kind : uint8_t
+    {
+        kNone,
+        /** Swallow the op. */
+        kDrop,
+        /** Emit the op twice back to back. */
+        kDuplicate,
+        /**
+         * Hold the op back and re-emit it after `delayBarriers` further
+         * pcommits have gone by (right after the next sfence). Delaying
+         * past a single barrier is FIFO-benign on one controller; two
+         * barriers puts the flush a full epoch late. If the run ends
+         * while the op is still held, the delay degenerates to a drop.
+         */
+        kDelay,
+    };
+
+    /** Which op kind to mutate: kClwb matches the whole flush family
+     *  (clwb/clflushopt/clflush); kSfence matches sfence/mfence. */
+    enum class Target : uint8_t
+    {
+        kClwb,
+        kSfence,
+        kPcommit,
+    };
+
+    Kind kind = Kind::kNone;
+    Target target = Target::kClwb;
+    /** 0-based index among matching emissions in the measured phase. */
+    uint64_t occurrence = 0;
+    /** kDelay: pcommits to let pass before re-emitting. */
+    unsigned delayBarriers = 2;
+
+    bool active() const { return kind != Kind::kNone; }
+};
+
+/** Short human-readable rendering ("drop:clwb@17"), "" when inactive. */
+std::string describeMutation(const BarrierMutation &m);
+
 /** Functional execution + micro-op emission. */
 class OpEmitter : public Program
 {
@@ -78,6 +127,14 @@ class OpEmitter : public Program
      */
     void setEvictOnPersist(bool evict) { evictOnPersist_ = evict; }
     bool evictOnPersist() const { return evictOnPersist_; }
+
+    /**
+     * Install a barrier mutation (audit validation harness). Applies to
+     * unmuted emission only, so occurrence indices count measured-phase
+     * ops.
+     */
+    void setMutation(const BarrierMutation &m) { mutation_ = m; }
+    const BarrierMutation &mutation() const { return mutation_; }
 
     /**
      * Install the generator that refills the op queue: called when the
@@ -197,6 +254,20 @@ class OpEmitter : public Program
     uint16_t depDistance(Handle dep) const;
 
     void emit(const MicroOp &op);
+    /** Append without mutation interception. */
+    void emitRaw(const MicroOp &op);
+    /** Mutation path of emit(); true when it consumed the op. */
+    bool mutateEmit(const MicroOp &op);
+
+    BarrierMutation mutation_;
+    /** Matching ops seen so far (occurrence counter). */
+    uint64_t mutationMatches_ = 0;
+    /** The target occurrence has been intercepted. */
+    bool mutationDone_ = false;
+    /** kDelay: an op is being held back. */
+    bool mutationHolding_ = false;
+    MicroOp mutationHeld_{};
+    unsigned mutationPcommitsPassed_ = 0;
 };
 
 } // namespace sp

@@ -12,6 +12,7 @@ Workload::Workload(const WorkloadParams &params)
 {
     em_.setGenerator([this] { return generateNext(); });
     em_.setEvictOnPersist(params.evictOnPersist);
+    em_.setMutation(params.mutation);
 }
 
 void

@@ -66,6 +66,11 @@ struct WorkloadParams
     PersistMode mode = PersistMode::kLogPSf;
     /** Use clflushopt (write back + evict) instead of clwb. */
     bool evictOnPersist = false;
+    /**
+     * Single-site barrier mutation (audit validation harness); inactive
+     * by default. Never changes functional state -- see BarrierMutation.
+     */
+    BarrierMutation mutation;
 };
 
 /** Base class of all benchmarks. */

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crash_scan.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "pmem/recovery.hh"
@@ -99,26 +100,17 @@ TEST_P(CrashRecovery, InterruptedRecoveryConverges)
     cfg.sim.sp.enabled = sp;
 
     RunResult full = runExperiment(cfg);
-    // Scan forward in fine steps until a few crash points land inside a
-    // transaction (logged_bit set). The armed windows are narrow and
-    // recur with the tx cadence, so an evenly spaced grid can alias past
-    // every one of them; a sequential scan cannot, and early crash runs
-    // are cheap (cost is proportional to the crash cycle).
-    unsigned loggedPoints = 0;
-    unsigned probes = 0;
-    Tick step = std::max<Tick>(64, full.stats.cycles / 400);
-    for (Tick at = step;
-         at < full.stats.cycles && loggedPoints < 3 && probes < 200;
-         at += step) {
-        ++probes;
+    // The fine-step armed-window scan (see crash_scan.hh for why a fixed
+    // grid would alias past every armed window).
+    std::vector<Tick> armedPoints =
+        findArmedCrashPoints(cfg, full.stats.cycles, 3, 200);
+    for (Tick at : armedPoints) {
         RunResult crashed = runExperiment(cfg, at);
         ASSERT_FALSE(crashed.completed);
 
         MemImage direct = crashed.durable;
         RecoveryResult rec = recoverImage(direct);
-        if (!rec.undone)
-            continue; // crash landed outside any transaction
-        ++loggedPoints;
+        ASSERT_TRUE(rec.undone);
 
         for (unsigned k : {0u, 1u, rec.entriesApplied / 2,
                            rec.entriesApplied}) {
@@ -146,9 +138,9 @@ TEST_P(CrashRecovery, InterruptedRecoveryConverges)
                 << "crash @ " << at << " k=" << k << " (triple)";
         }
     }
-    // The grid is dense enough that at least one crash point must land
+    // The scan is dense enough that at least one crash point must land
     // inside a transaction; otherwise this test silently proves nothing.
-    EXPECT_GT(loggedPoints, 0u);
+    EXPECT_GT(armedPoints.size(), 0u);
 }
 
 TEST_P(CrashRecovery, RecoveryIsIdempotent)
