@@ -1,0 +1,144 @@
+/**
+ * @file
+ * CPI-stack figure: where every simulated cycle goes, per workload, for
+ * three machines -- the synchronous Log+P+Sf baseline, the same machine
+ * with speculative persistence (SP256), and an ADR strawman.
+ *
+ * The cycle accountant (sim/cycle_account.hh) attributes each cycle to
+ * exactly one exclusive category, so the stacks decompose runtime
+ * without double counting: the exposed-fence bar is what the paper's
+ * barriers cost, the compute bar is what survives them, and the
+ * speculation ledger reports how many of the pending barrier cycles SP
+ * overlapped with useful work (hidden) versus left exposed -- with
+ * per-episode latency percentiles (p50/p99/p999) for the tail story the
+ * ROADMAP's service workload needs.
+ *
+ * The ADR strawman models a platform whose WPQ sits inside the
+ * persistence domain (pcommit completes in roughly a WPQ insert): NVMM
+ * write latency collapses to one controller cycle, so barriers are
+ * nearly free without speculation. It brackets SP from the hardware
+ * side: SP approaches ADR's exposed-barrier cost on pcommit hardware.
+ *
+ * Artifacts: per-workload stack tables on stdout plus cpi_stack.csv
+ * (one row per workload x variant x category share).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "sim/cycle_account.hh"
+
+using namespace sp;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    bool sp;
+    bool adr;
+};
+
+const std::vector<Variant> kVariants = {
+    {"Log+P+Sf", false, false},
+    {"SP256", true, false},
+    {"ADR", false, true},
+};
+
+std::string
+pctOf(uint64_t part, uint64_t whole)
+{
+    if (whole == 0)
+        return "-";
+    return Table::num(100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole),
+                      1) +
+        "%";
+}
+
+std::string
+tailCell(const Histogram &h)
+{
+    if (h.samples() == 0)
+        return "-";
+    return std::to_string(h.percentileUpperBound(0.50)) + "/" +
+        std::to_string(h.percentileUpperBound(0.99)) + "/" +
+        std::to_string(h.percentileUpperBound(0.999));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== CPI stack: exclusive cycle attribution, "
+                 "Log+P+Sf vs SP vs ADR strawman ==\n\n";
+
+    std::vector<RunConfig> grid;
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        for (const Variant &v : kVariants) {
+            RunConfig cfg =
+                makeRunConfig(kind, PersistMode::kLogPSf, v.sp, 256, 0.5);
+            cfg.account.enabled = true;
+            if (v.adr) {
+                // WPQ inside the persistence domain: a pcommit drains in
+                // about a WPQ insert, so the barrier all but vanishes.
+                cfg.sim.mem.nvmmWriteCycles = 1;
+            }
+            grid.push_back(cfg);
+        }
+    }
+    std::vector<SweepRunResult> results = SweepEngine().run(grid);
+
+    std::ofstream csv("cpi_stack.csv");
+    csv << "workload,variant,cycles,category,categoryCycles,share\n";
+
+    size_t row = 0;
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        Table table({"variant", "cycles", "compute", "fence_exposed",
+                     "fetch_stall", "ssb+ckpt+sb", "replay", "drain+idle",
+                     "hidden", "exposed", "episode p50/p99/p999"});
+        for (const Variant &v : kVariants) {
+            const RunResult &r = results[row++].run;
+            const CycleAccount &a = r.account;
+            uint64_t structural = a.cat(CycleCat::kSsbFull) +
+                a.cat(CycleCat::kCheckpoint) +
+                a.cat(CycleCat::kStoreBuffer);
+            uint64_t drainIdle = a.cat(CycleCat::kWpqDrain) +
+                a.cat(CycleCat::kWatchdogDegraded) +
+                a.cat(CycleCat::kIdle);
+            table.addRow(
+                {v.name, std::to_string(a.cycles),
+                 pctOf(a.cat(CycleCat::kCompute), a.cycles),
+                 pctOf(a.cat(CycleCat::kFenceExposed), a.cycles),
+                 pctOf(a.cat(CycleCat::kFetchStall), a.cycles),
+                 pctOf(structural, a.cycles),
+                 pctOf(a.cat(CycleCat::kAbortReplay), a.cycles),
+                 pctOf(drainIdle, a.cycles),
+                 pctOf(a.ledger.hiddenCycles, a.ledger.barrierCycles),
+                 pctOf(a.ledger.exposedCycles, a.ledger.barrierCycles),
+                 tailCell(a.ledger.episodeLatency)});
+            for (unsigned c = 0; c < kNumCycleCats; ++c) {
+                csv << workloadKindName(kind) << "," << v.name << ","
+                    << a.cycles << ","
+                    << cycleCatName(static_cast<CycleCat>(c)) << ","
+                    << a.categories[c] << ","
+                    << (a.cycles ? static_cast<double>(a.categories[c]) /
+                               static_cast<double>(a.cycles)
+                                 : 0.0)
+                    << "\n";
+            }
+        }
+        std::cout << workloadKindName(kind) << "\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "wrote cpi_stack.csv\n";
+    return 0;
+}

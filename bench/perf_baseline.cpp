@@ -20,6 +20,10 @@
  *     without one); instead --check gates it *relative* to smoke --
  *     identical simulated cycles (the audit is a pure observer) and at
  *     most the tolerance fraction of cycles/sec lost to bookkeeping.
+ *   - smoke_account: the same cell with the cycle accountant attached,
+ *     gated exactly like smoke_audit (identical simulated cycles,
+ *     relative throughput envelope) so CPI-stack bookkeeping can never
+ *     silently tax or perturb the simulator.
  *
  * Per suite it reports simulated cycles, wall seconds, simulated
  * cycles/second, and heap allocations (counted by the interposed
@@ -194,6 +198,15 @@ smokeAuditGrid()
     return grid;
 }
 
+std::vector<RunConfig>
+smokeAccountGrid()
+{
+    std::vector<RunConfig> grid = smokeGrid();
+    for (RunConfig &cfg : grid)
+        cfg.account.enabled = true;
+    return grid;
+}
+
 SuiteResult
 runSmokeBestOf(unsigned reps, const std::string &name,
                const std::vector<RunConfig> &grid)
@@ -280,12 +293,12 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
 
     int failures = 0;
     const SuiteResult *smoke = nullptr;
-    const SuiteResult *smokeAudit = nullptr;
+    std::vector<const SuiteResult *> observerCells;
     for (const SuiteResult &s : measured) {
         if (s.name == "smoke")
             smoke = &s;
-        else if (s.name == "smoke_audit")
-            smokeAudit = &s;
+        else if (s.name == "smoke_audit" || s.name == "smoke_account")
+            observerCells.push_back(&s);
     }
     for (const SuiteResult &s : measured) {
         double baseline = 0;
@@ -304,25 +317,29 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
             ++failures;
     }
 
-    // The audit cell is gated relative to the plain smoke cell measured
-    // in the same process, so it needs no per-machine baseline entry.
-    if (smoke && smokeAudit) {
-        if (smokeAudit->simCycles != smoke->simCycles) {
+    // Observer cells (audit, cycle accounting) are gated relative to the
+    // plain smoke cell measured in the same process, so they need no
+    // per-machine baseline entry: the simulated cycle count must be
+    // exactly smoke's (observers never perturb timing) and the
+    // throughput must stay inside the tolerance envelope.
+    for (const SuiteResult *cell : observerCells) {
+        if (!smoke)
+            break;
+        if (cell->simCycles != smoke->simCycles) {
             std::printf("check %-15s simulated %llu cycles vs smoke's "
-                        "%llu  PERTURBED (audit must be an observer)\n",
-                        smokeAudit->name.c_str(),
-                        static_cast<unsigned long long>(
-                            smokeAudit->simCycles),
+                        "%llu  PERTURBED (must be a pure observer)\n",
+                        cell->name.c_str(),
+                        static_cast<unsigned long long>(cell->simCycles),
                         static_cast<unsigned long long>(smoke->simCycles));
             ++failures;
         }
-        double ratio = smokeAudit->cyclesPerSec() / smoke->cyclesPerSec();
+        double ratio = cell->cyclesPerSec() / smoke->cyclesPerSec();
         bool ok = ratio >= 1.0 - tolerance;
         std::printf("check %-15s %12.0f cyc/s vs smoke %12.0f"
                     "  (%+5.1f%%)  %s\n",
-                    smokeAudit->name.c_str(), smokeAudit->cyclesPerSec(),
+                    cell->name.c_str(), cell->cyclesPerSec(),
                     smoke->cyclesPerSec(), (ratio - 1.0) * 100.0,
-                    ok ? "ok" : "AUDIT OVERHEAD");
+                    ok ? "ok" : "OBSERVER OVERHEAD");
         if (!ok)
             ++failures;
     }
@@ -368,6 +385,9 @@ main(int argc, char **argv)
     results.push_back(runSmokeBestOf(3, "smoke", smokeGrid()));
     printSuite(results.back());
     results.push_back(runSmokeBestOf(3, "smoke_audit", smokeAuditGrid()));
+    printSuite(results.back());
+    results.push_back(
+        runSmokeBestOf(3, "smoke_account", smokeAccountGrid()));
     printSuite(results.back());
 
     if (!outPath.empty()) {

@@ -15,7 +15,15 @@
  *         [--crash-matrix=N] [--campaign-csv=FILE]
  *         [--trace] [--trace=FILE] [--trace-csv=FILE]
  *         [--trace-categories=LIST] [--sample-every=N]
- *         [--audit[=FILE]]
+ *         [--audit[=FILE]] [--cycle-account[=FILE]]
+ *
+ * Cycle accounting:
+ *   --cycle-account     attach the CycleAccountant (sim/cycle_account.hh)
+ *                       to the run: every simulated cycle attributed to
+ *                       one exclusive category, plus the hidden/exposed
+ *                       persist-barrier ledger. Prints the CPI-stack
+ *                       table and the machine-readable account; with
+ *                       =FILE also writes the JSON there.
  *
  * Durability audit:
  *   --audit             attach the DurabilityAuditor (sim/audit.hh) to
@@ -97,12 +105,15 @@ usage(const char *msg = nullptr)
         "             [--crash-matrix=N] [--campaign-csv=FILE]\n"
         "             [--trace] [--trace=FILE] [--trace-csv=FILE]\n"
         "             [--trace-categories=LIST] [--sample-every=N]\n"
-        "             [--audit[=FILE]]\n"
+        "             [--audit[=FILE]] [--cycle-account[=FILE]]\n"
         "\n"
         "  --audit      durability audit of the retired op stream\n"
         "               (missing/late clwb, unordered flushes, redundant\n"
         "               barriers); =FILE writes the JSON report; exit 1\n"
-        "               on violations\n";
+        "               on violations\n"
+        "  --cycle-account  exhaustive CPI-stack attribution and the\n"
+        "               hidden/exposed persist-barrier ledger; =FILE\n"
+        "               writes the JSON account\n";
     std::exit(msg ? 1 : 0);
 }
 
@@ -134,6 +145,8 @@ main(int argc, char **argv)
     unsigned sample_every = 0;
     bool audit = false;
     std::string audit_file;
+    bool account = false;
+    std::string account_file;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -268,6 +281,11 @@ main(int argc, char **argv)
             cfg.audit.enabled = true;
             if (has_inline)
                 audit_file = inline_value;
+        } else if (flag == "--cycle-account") {
+            account = true;
+            cfg.account.enabled = true;
+            if (has_inline)
+                account_file = inline_value;
         } else {
             usage(("unknown flag " + flag).c_str());
         }
@@ -417,6 +435,28 @@ main(int argc, char **argv)
         }
         std::cout << "trace summary: " << tracer->summary().toJson()
                   << "\n\n";
+    }
+
+    if (account) {
+        std::cout << "cycle account:\n";
+        r.account.print(std::cout, "  ");
+        std::string doc = r.account.toJson();
+        std::string err;
+        if (!jsonIsValid(doc, &err)) {
+            std::cerr << "spcli: cycle-account JSON failed self-check: "
+                      << err << "\n";
+            return 1;
+        }
+        if (!account_file.empty()) {
+            std::ofstream out(account_file);
+            if (!out) {
+                std::cerr << "spcli: cannot write " << account_file << "\n";
+                return 1;
+            }
+            out << doc << "\n";
+            std::cout << "cycle account: wrote " << account_file << "\n";
+        }
+        std::cout << "cycle account: " << doc << "\n\n";
     }
 
     bool audit_dirty = false;

@@ -257,6 +257,18 @@ EpochManager::exitSpeculation(Tick now)
     ++stats_.epochsCommitted;
 }
 
+bool
+EpochManager::gateOutstanding() const
+{
+    for (const Epoch &epoch : epochs_) {
+        for (uint64_t id : epoch.flushes) {
+            if (!mc_.flushComplete(id))
+                return true;
+        }
+    }
+    return false;
+}
+
 uint64_t
 EpochManager::oldestCursor() const
 {

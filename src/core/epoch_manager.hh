@@ -128,6 +128,15 @@ class EpochManager
     /** Rollback target: cursor of the oldest live checkpoint. */
     uint64_t oldestCursor() const;
 
+    /**
+     * Any live epoch still gated on an incomplete memory-controller
+     * flush (epoch 0's speculatively retired sfence gate, or a delayed
+     * pcommit's marker). While true, the persist barrier the core
+     * speculated past has not finished -- the cycle-account ledger's
+     * "barrier pending" condition during speculation.
+     */
+    bool gateOutstanding() const;
+
     /** Abort: discard every epoch and checkpoint. Caller clears the SSB.
      *  @param now Current cycle (trace timestamps only). */
     void abortAll(Tick now = 0);

@@ -453,6 +453,13 @@ OooCore::countRetired(const DynOp &op)
         auditedCursor_ = op.nextCursor;
         auditor_->observe(op.op, op.nextCursor - 1, now_);
     }
+    // Cycle-account replay frontier: abort_replay classification needs
+    // to know whether retirement is still below the pre-abort high water.
+    if (accountant_) {
+        frontierCursor_ = op.nextCursor;
+        if (op.nextCursor > maxRetiredCursor_)
+            maxRetiredCursor_ = op.nextCursor;
+    }
 }
 
 void
@@ -597,6 +604,8 @@ OooCore::triggerSpeculation(const DynOp &fence)
     specMode_ = true;
     epochHasPersistOps_ = false;
     flushes_.clear();
+    if (accountant_)
+        accountant_->noteSpeculationEntered();
     if (tracer_ && tracer_->enabled(kTraceSpec)) {
         tracer_->instant(kTraceSpec, "SPECULATE", now_,
                          "\"cursor\":" +
@@ -917,6 +926,13 @@ OooCore::abortSpeculation()
     // hold retirement until every pre-speculation persist completes.
     postAbortDrain_ = true;
     governor_.noteAbort(now_);
+    if (accountant_) {
+        // Everything between the rewind point and the farthest cursor
+        // ever retired is now re-execution: classify the progress spent
+        // recovering it as abort_replay, not compute.
+        replayUntil_ = maxRetiredCursor_;
+        frontierCursor_ = cursor;
+    }
 }
 
 void
@@ -983,6 +999,55 @@ OooCore::done() const
         rob_.empty() && storeBuffer_.empty() && !sbInFlight_ && !specMode_;
 }
 
+CycleCat
+OooCore::classifyCycle() const
+{
+    // Strict priority: the first condition that fired this cycle owns
+    // it. Retirement-blocking stalls outrank everything (they gate the
+    // whole window), fence first so the category telescopes exactly to
+    // Stats::fenceStallCycles -- both are incremented under the
+    // identical flags_.fenceBlocked condition, per cycle and per
+    // skipped span.
+    if (flags_.fenceBlocked)
+        return CycleCat::kFenceExposed;
+    if (flags_.ssbBlocked)
+        return CycleCat::kSsbFull;
+    if (flags_.checkpointBlocked)
+        return CycleCat::kCheckpoint;
+    if (flags_.sbBlocked)
+        return CycleCat::kStoreBuffer;
+    // Progress outranks the fetch-queue flag: a full fetch queue while
+    // the backend retires/issues work is a symptom of throughput, not
+    // lost time. fetch_stall owns only cycles where the frontend is
+    // blocked and nothing else moved (backend latency-bound).
+    if (flags_.progress) {
+        return frontierCursor_ < replayUntil_ ? CycleCat::kAbortReplay
+                                              : CycleCat::kCompute;
+    }
+    if (flags_.fetchBlocked)
+        return CycleCat::kFetchStall;
+    // Idle cycles, most-specific cause first. Every input below is
+    // stable across a skipped span: backoff expiry and memory-system
+    // state changes are nextEventTick() events.
+    if (governor_.degraded() || governor_.backoffUntil() > now_)
+        return CycleCat::kWatchdogDegraded;
+    if (mc_.outstandingFlushes() > 0 || mc_.wpqOccupancy() > 0)
+        return CycleCat::kWpqDrain;
+    return CycleCat::kIdle;
+}
+
+bool
+OooCore::barrierPending() const
+{
+    // A persist barrier is pending while a fence (or ordering xchg, or
+    // the post-abort drain) blocks retirement -- the exposed case -- or
+    // while the core speculates past an incomplete pcommit gate -- the
+    // window speculation tries to hide.
+    if (flags_.fenceBlocked)
+        return true;
+    return specMode_ && epochs_.gateOutstanding();
+}
+
 void
 OooCore::stepCycle()
 {
@@ -1014,6 +1079,17 @@ OooCore::stepCycle()
         ++stats_.checkpointStallCycles;
     if (flags_.sbBlocked)
         ++stats_.storeBufferStallCycles;
+
+    // Exhaustive cycle attribution. Classified after every stage has set
+    // its flags so the priority order sees the whole cycle; the cached
+    // classification is what skipIdleCycles() attributes to a skipped
+    // span (during which, by the nextEventTick() contract, none of the
+    // inputs below can change).
+    if (accountant_) {
+        lastCat_ = classifyCycle();
+        lastBarrier_ = barrierPending();
+        accountant_->account(lastCat_, lastBarrier_, 1);
+    }
 
     if (tracer_) {
         // Fence-stall intervals: one span from the first blocked cycle
@@ -1097,6 +1173,11 @@ OooCore::skipIdleCycles()
         stats_.checkpointStallCycles += delta;
     if (flags_.sbBlocked)
         stats_.storeBufferStallCycles += delta;
+    // Attribute the skipped span to the first idle cycle's classification
+    // (same contract as the stall counters above), so skipped cycles are
+    // accounted, never lost: sum(categories) tracks now_ exactly.
+    if (accountant_)
+        accountant_->account(lastCat_, lastBarrier_, delta);
     now_ = next;
 }
 

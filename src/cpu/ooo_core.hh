@@ -48,6 +48,7 @@
 #include "core/ssb.hh"
 #include "isa/program.hh"
 #include "sim/audit.hh"
+#include "sim/cycle_account.hh"
 #include "sim/fault.hh"
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
@@ -141,6 +142,19 @@ class OooCore
      * cursor. Pure observer: attaching it never changes timing.
      */
     void setAuditor(DurabilityAuditor *auditor) { auditor_ = auditor; }
+
+    /**
+     * Attach a cycle accountant (may be null = accounting off). Every
+     * stepped cycle is classified into exactly one CycleCat at the end
+     * of stepCycle(); a skipped idle span is attributed in bulk to the
+     * classification of its first cycle, mirroring the Stats stall
+     * counters, so sum(categories) == Stats::cycles always holds. Pure
+     * observer: attaching it never changes timing.
+     */
+    void setAccountant(CycleAccountant *accountant)
+    {
+        accountant_ = accountant;
+    }
 
     /**
      * Stream a human-readable event trace (retirements, speculation
@@ -291,6 +305,28 @@ class OooCore
     DurabilityAuditor *auditor_ = nullptr;
     /** Program cursor already fed to the auditor (abort/replay dedup). */
     uint64_t auditedCursor_ = 0;
+
+    // --- Cycle accounting (all state dead while accountant_ == null) ------
+    /** CPI-stack observer; null = accounting off (the seed path). */
+    CycleAccountant *accountant_ = nullptr;
+    /** Classification of the most recent stepped cycle; reused verbatim
+     *  for the bulk span skipIdleCycles() fast-forwards, because no
+     *  machine state changes during a skipped span. */
+    CycleCat lastCat_ = CycleCat::kIdle;
+    bool lastBarrier_ = false;
+    /** Program cursor of the most recently retired op (rewound on
+     *  abort); below replayUntil_ means progress is re-execution. */
+    uint64_t frontierCursor_ = 0;
+    /** High-water retired cursor, including speculatively retired work
+     *  that a later abort may discard. */
+    uint64_t maxRetiredCursor_ = 0;
+    /** Replay ends when the frontier passes the pre-abort high water. */
+    uint64_t replayUntil_ = 0;
+
+    /** Exclusive category of the cycle just stepped (priority order). */
+    CycleCat classifyCycle() const;
+    /** Ledger condition: a persist barrier is pending this cycle. */
+    bool barrierPending() const;
     /** Backing tracer for the legacy setTraceSink() text interface. */
     std::unique_ptr<Tracer> ownedTracer_;
     /** Start of the fence-stall interval in progress; kTickNever = none. */

@@ -87,6 +87,8 @@ describeRunConfig(const RunConfig &cfg)
         if (cfg.audit.failOnViolation)
             os << " auditFail=1";
     }
+    if (cfg.account.enabled)
+        os << " account=1";
     if (cfg.params.mutation.active())
         os << " mut=" << describeMutation(cfg.params.mutation);
     return os.str();
@@ -134,6 +136,11 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
         auditor = std::make_unique<DurabilityAuditor>(
             cfg.audit, cfg.sim.mem.numMemCtrls);
         core.setAuditor(auditor.get());
+    }
+    std::unique_ptr<CycleAccountant> accountant;
+    if (cfg.account.enabled) {
+        accountant = std::make_unique<CycleAccountant>();
+        core.setAccountant(accountant.get());
     }
     if (cfg.probePeriod != 0) {
         // Target the hot region: workload metadata, the undo log, and the
@@ -183,6 +190,10 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
     }
     if (tracer)
         result.trace = tracer->summary();
+    // finalize() asserts the exhaustiveness identity against the run's
+    // final cycle count, whatever way the run ended (ok/crash/maxCycles).
+    if (accountant)
+        result.account = accountant->finalize(result.stats.cycles);
     // finalize() last: with failOnViolation it throws, and the sweep's
     // failure record should describe a fully assembled run.
     if (auditor)

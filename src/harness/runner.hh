@@ -14,6 +14,7 @@
 #include "mem/mem_image.hh"
 #include "sim/audit.hh"
 #include "sim/config.hh"
+#include "sim/cycle_account.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "workloads/factory.hh"
@@ -50,6 +51,14 @@ struct RunConfig
      * std::runtime_error on a dirty report so sweep cells record it.
      */
     AuditOptions audit;
+    /**
+     * Cycle-accounting knobs. enabled == false (the default) is
+     * accounting fully off; on, the runner attaches a CycleAccountant to
+     * the core and fills RunResult::account with the exhaustive CPI
+     * stack and speculation ledger. Pure observer like tracing/audit:
+     * Stats and the durable image are bit-identical either way.
+     */
+    AccountOptions account;
 };
 
 /**
@@ -90,6 +99,9 @@ struct RunResult
     TraceSummary trace;
     /** Durability-audit report (enabled == false when audit was off). */
     AuditReport audit;
+    /** Cycle account (enabled == false when accounting was off);
+     *  account.cycles == stats.cycles by the finalize() identity. */
+    CycleAccount account;
 };
 
 /**

@@ -255,6 +255,10 @@ summarizeSweep(const std::vector<SweepRunResult> &results)
             s.fenceStall.merge(r.run.trace.fenceStall);
             s.epochDuration.merge(r.run.trace.epochDuration);
         }
+        if (r.run.account.enabled) {
+            ++s.accountedRuns;
+            s.account.merge(r.run.account);
+        }
         if (r.run.audit.enabled) {
             ++s.auditedRuns;
             if (r.run.audit.clean())
@@ -336,21 +340,17 @@ SweepSummary::toJson() const
        << ",\"totalWallMs\":" << totalWallMs
        << ",\"tracedRuns\":" << tracedRuns
        << ",\"traceEvents\":" << traceEvents;
-    auto hist = [&os](const char *name, const Histogram &h) {
-        os << ",\"" << name << "\":{\"n\":" << h.samples()
-           << ",\"mean\":" << h.mean()
-           << ",\"p50\":" << h.percentileUpperBound(0.50)
-           << ",\"p90\":" << h.percentileUpperBound(0.90)
-           << ",\"p99\":" << h.percentileUpperBound(0.99)
-           << ",\"max\":" << h.max() << "}";
-    };
-    hist("fenceStall", fenceStall);
-    hist("epochDuration", epochDuration);
+    os << ",";
+    histogramJson(os, "fenceStall", fenceStall);
+    os << ",";
+    histogramJson(os, "epochDuration", epochDuration);
     os << ",\"auditedRuns\":" << auditedRuns
        << ",\"auditCleanRuns\":" << auditCleanRuns
        << ",\"auditFindings\":" << auditFindings
        << ",\"auditViolationEdges\":" << auditViolationEdges
-       << ",\"auditRedundantBarriers\":" << auditRedundantBarriers;
+       << ",\"auditRedundantBarriers\":" << auditRedundantBarriers
+       << ",\"accountedRuns\":" << accountedRuns
+       << ",\"account\":" << account.toJson();
     os << ",\"failures\":[";
     for (size_t i = 0; i < failures.size(); ++i) {
         const SweepFailureRecord &f = failures[i];

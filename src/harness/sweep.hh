@@ -194,6 +194,16 @@ struct SweepSummary
     /** Redundant flushes+fences+pcommits across audited runs. */
     uint64_t auditRedundantBarriers = 0;
 
+    // --- Cycle-account aggregates (zero when no run was accounted) --------
+    /** Runs whose CycleAccount was enabled. */
+    unsigned accountedRuns = 0;
+    /**
+     * Per-category cycles and speculation ledger merged across accounted
+     * runs, in submission order (bit-identical for any worker count).
+     * account.cycles sums the accounted runs' simCycles.
+     */
+    CycleAccount account;
+
     /** One-line JSON object with every field above. */
     std::string toJson() const;
 };

@@ -1,0 +1,207 @@
+#include "sim/cycle_account.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+const char *
+cycleCatName(CycleCat cat)
+{
+    switch (cat) {
+      case CycleCat::kFenceExposed:
+        return "fence_exposed";
+      case CycleCat::kSsbFull:
+        return "ssb_full";
+      case CycleCat::kCheckpoint:
+        return "checkpoint";
+      case CycleCat::kStoreBuffer:
+        return "store_buffer";
+      case CycleCat::kFetchStall:
+        return "fetch_stall";
+      case CycleCat::kAbortReplay:
+        return "abort_replay";
+      case CycleCat::kCompute:
+        return "compute";
+      case CycleCat::kWatchdogDegraded:
+        return "watchdog_degraded";
+      case CycleCat::kWpqDrain:
+        return "wpq_drain";
+      case CycleCat::kIdle:
+        return "idle";
+      case CycleCat::kNumCats:
+        break;
+    }
+    return "unknown";
+}
+
+// --------------------------------------------------------------------------
+// SpeculationLedger
+// --------------------------------------------------------------------------
+
+void
+SpeculationLedger::merge(const SpeculationLedger &other)
+{
+    barrierCycles += other.barrierCycles;
+    hiddenCycles += other.hiddenCycles;
+    exposedCycles += other.exposedCycles;
+    barrierEpisodes += other.barrierEpisodes;
+    specEpisodes += other.specEpisodes;
+    episodeLatency.merge(other.episodeLatency);
+    episodeHidden.merge(other.episodeHidden);
+}
+
+// --------------------------------------------------------------------------
+// CycleAccount
+// --------------------------------------------------------------------------
+
+uint64_t
+CycleAccount::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t v : categories)
+        sum += v;
+    return sum;
+}
+
+bool
+CycleAccount::selfConsistent() const
+{
+    if (total() != cycles)
+        return false;
+    if (ledger.hiddenCycles + ledger.exposedCycles != ledger.barrierCycles)
+        return false;
+    return ledger.barrierCycles <= cycles;
+}
+
+void
+CycleAccount::merge(const CycleAccount &other)
+{
+    if (!other.enabled)
+        return;
+    enabled = true;
+    for (unsigned i = 0; i < kNumCycleCats; ++i)
+        categories[i] += other.categories[i];
+    cycles += other.cycles;
+    ledger.merge(other.ledger);
+}
+
+void
+CycleAccount::print(std::ostream &os, const std::string &prefix) const
+{
+    if (!enabled) {
+        os << prefix << "(cycle accounting off)\n";
+        return;
+    }
+    os << prefix << "cycles " << cycles << "\n";
+    for (unsigned i = 0; i < kNumCycleCats; ++i) {
+        CycleCat cat = static_cast<CycleCat>(i);
+        double share = cycles
+            ? 100.0 * static_cast<double>(categories[i]) /
+                static_cast<double>(cycles)
+            : 0.0;
+        os << prefix << "  " << std::left << std::setw(18)
+           << cycleCatName(cat) << std::right << std::setw(14)
+           << categories[i] << "  " << std::fixed << std::setprecision(2)
+           << std::setw(6) << share << "%\n";
+        os.unsetf(std::ios::floatfield);
+    }
+    os << prefix << "barrier ledger: pending " << ledger.barrierCycles
+       << " = hidden " << ledger.hiddenCycles << " + exposed "
+       << ledger.exposedCycles << " over " << ledger.barrierEpisodes
+       << " episodes (" << ledger.specEpisodes << " speculative)\n";
+    if (ledger.episodeLatency.samples() > 0) {
+        os << prefix << "  episode latency p50/p99/p999 "
+           << ledger.episodeLatency.percentileUpperBound(0.50) << "/"
+           << ledger.episodeLatency.percentileUpperBound(0.99) << "/"
+           << ledger.episodeLatency.percentileUpperBound(0.999)
+           << " max " << ledger.episodeLatency.max() << "\n";
+    }
+}
+
+std::string
+CycleAccount::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"enabled\":" << (enabled ? "true" : "false")
+       << ",\"cycles\":" << cycles << ",\"categories\":{";
+    for (unsigned i = 0; i < kNumCycleCats; ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << cycleCatName(static_cast<CycleCat>(i))
+           << "\":" << categories[i];
+    }
+    os << "},\"ledger\":{\"barrierCycles\":" << ledger.barrierCycles
+       << ",\"hiddenCycles\":" << ledger.hiddenCycles
+       << ",\"exposedCycles\":" << ledger.exposedCycles
+       << ",\"barrierEpisodes\":" << ledger.barrierEpisodes
+       << ",\"specEpisodes\":" << ledger.specEpisodes << ",";
+    histogramJson(os, "episodeLatency", ledger.episodeLatency);
+    os << ",";
+    histogramJson(os, "episodeHidden", ledger.episodeHidden);
+    os << "}}";
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// CycleAccountant
+// --------------------------------------------------------------------------
+
+void
+CycleAccountant::account(CycleCat cat, bool barrierPending, uint64_t n)
+{
+    SP_ASSERT(cat < CycleCat::kNumCats, "bad cycle category");
+    account_.categories[static_cast<unsigned>(cat)] += n;
+    account_.cycles += n;
+    if (barrierPending) {
+        if (!inEpisode_) {
+            inEpisode_ = true;
+            ++account_.ledger.barrierEpisodes;
+            episodeLen_ = 0;
+            episodeHidden_ = 0;
+        }
+        account_.ledger.barrierCycles += n;
+        episodeLen_ += n;
+        // Hidden means the core made first-time forward progress while
+        // the barrier was pending. Replay progress is *waste caused by
+        // speculation*, so it counts against the ledger, not for it.
+        if (cat == CycleCat::kCompute) {
+            account_.ledger.hiddenCycles += n;
+            episodeHidden_ += n;
+        } else {
+            account_.ledger.exposedCycles += n;
+        }
+    } else if (inEpisode_) {
+        closeEpisode();
+    }
+}
+
+void
+CycleAccountant::closeEpisode()
+{
+    account_.ledger.episodeLatency.record(episodeLen_);
+    account_.ledger.episodeHidden.record(episodeHidden_);
+    inEpisode_ = false;
+    episodeLen_ = 0;
+    episodeHidden_ = 0;
+}
+
+CycleAccount
+CycleAccountant::finalize(uint64_t simCycles)
+{
+    if (inEpisode_)
+        closeEpisode();
+    account_.enabled = true;
+    SP_ASSERT(account_.cycles == simCycles &&
+                  account_.total() == simCycles,
+              "cycle-account identity broken: accounted ",
+              account_.total(), " of ", simCycles, " cycles");
+    SP_ASSERT(account_.selfConsistent(),
+              "cycle-account ledger arms do not telescope");
+    return account_;
+}
+
+} // namespace sp

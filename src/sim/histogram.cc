@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <iomanip>
 
 namespace sp
@@ -52,13 +53,25 @@ Histogram::percentileUpperBound(double fraction) const
 {
     if (samples_ == 0)
         return 0;
-    uint64_t target =
-        static_cast<uint64_t>(fraction * static_cast<double>(samples_));
+    if (fraction <= 0.0)
+        return min();
+    // ceil, not truncate: p50 of a single sample must require that
+    // sample (target 1), not zero samples -- the old truncating target
+    // let any fraction < 1 land in the first bucket.
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(fraction * static_cast<double>(samples_)));
+    if (target >= samples_)
+        return max_;
     uint64_t seen = 0;
     for (unsigned i = 0; i < kBuckets; ++i) {
         seen += buckets_[i];
-        if (seen >= target)
-            return i == 0 ? 1 : (uint64_t(1) << i);
+        if (seen >= target) {
+            if (i == 0)
+                return 0; // bucket 0 holds only the value 0
+            // Clamp the bucket ceiling to the observed max so the
+            // overflow bucket [2^30, inf) reports a real value.
+            return std::min(uint64_t(1) << i, max_);
+        }
     }
     return max_;
 }
@@ -84,6 +97,18 @@ Histogram::print(std::ostream &os, const std::string &prefix) const
     os << prefix << "samples " << samples_ << ", mean "
        << static_cast<uint64_t>(mean()) << ", min " << min() << ", max "
        << max_ << "\n";
+}
+
+void
+histogramJson(std::ostream &os, const char *name, const Histogram &h)
+{
+    os << "\"" << name << "\":{\"n\":" << h.samples()
+       << ",\"mean\":" << h.mean()
+       << ",\"p50\":" << h.percentileUpperBound(0.50)
+       << ",\"p90\":" << h.percentileUpperBound(0.90)
+       << ",\"p99\":" << h.percentileUpperBound(0.99)
+       << ",\"p999\":" << h.percentileUpperBound(0.999)
+       << ",\"max\":" << h.max() << "}";
 }
 
 void

@@ -34,7 +34,17 @@ class Histogram
     /** Count in bucket `i` ([2^(i-1), 2^i) for i >= 1). */
     uint64_t bucket(unsigned i) const { return buckets_.at(i); }
 
-    /** Smallest value that at least `fraction` of samples are <= to. */
+    /**
+     * Bucket-granular upper bound on the value at percentile `fraction`:
+     * the ceiling of the first bucket whose cumulative count reaches
+     * ceil(fraction * samples), clamped to max(). Edge contract:
+     *  - empty histogram: 0 for every fraction;
+     *  - fraction <= 0: min();
+     *  - fraction high enough that the target lands in the last occupied
+     *    bucket (including 1.0, and including the overflow bucket): the
+     *    exact max() -- never the bucket's 2^i ceiling;
+     *  - single-sample histogram: the sample, for every fraction.
+     */
     uint64_t percentileUpperBound(double fraction) const;
 
     /** Render an ASCII bar chart of the non-empty buckets. */
@@ -55,6 +65,15 @@ class Histogram
 
     static unsigned bucketOf(uint64_t value);
 };
+
+/**
+ * Shared JSON emission for histogram summaries: writes
+ * `"name":{"n":..,"mean":..,"p50":..,"p90":..,"p99":..,"p999":..,"max":..}`
+ * (no surrounding braces or leading comma). The single producer for
+ * every histogram block in TraceSummary / SweepSummary / CycleAccount
+ * JSON, so the schema cannot drift between emitters.
+ */
+void histogramJson(std::ostream &os, const char *name, const Histogram &h);
 
 } // namespace sp
 

@@ -351,21 +351,6 @@ Tracer::writeCounterCsv(std::ostream &os) const
 // Summary
 // --------------------------------------------------------------------------
 
-namespace
-{
-
-void
-histJson(std::ostream &os, const char *name, const Histogram &h)
-{
-    os << "\"" << name << "\":{\"n\":" << h.samples()
-       << ",\"mean\":" << h.mean() << ",\"p50\":"
-       << h.percentileUpperBound(0.50) << ",\"p90\":"
-       << h.percentileUpperBound(0.90) << ",\"p99\":"
-       << h.percentileUpperBound(0.99) << ",\"max\":" << h.max() << "}";
-}
-
-} // namespace
-
 std::string
 TraceSummary::toJson() const
 {
@@ -376,11 +361,11 @@ TraceSummary::toJson() const
        << ",\"bloomFalsePositives\":" << bloomFalsePositives
        << ",\"epochsBegun\":" << epochsBegun
        << ",\"epochsEnded\":" << epochsEnded << ",";
-    histJson(os, "fenceStall", fenceStall);
+    histogramJson(os, "fenceStall", fenceStall);
     os << ",";
-    histJson(os, "epochDuration", epochDuration);
+    histogramJson(os, "epochDuration", epochDuration);
     os << ",";
-    histJson(os, "pcommitLatency", pcommitLatency);
+    histogramJson(os, "pcommitLatency", pcommitLatency);
     os << "}";
     return os.str();
 }

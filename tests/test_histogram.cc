@@ -1,13 +1,20 @@
 /**
  * @file
- * Unit tests: the power-of-two histogram used for latency distributions.
+ * Unit tests: the power-of-two histogram used for latency distributions
+ * -- bucketing, the percentileUpperBound edge contract, merge as exact
+ * concatenation, the shared histogramJson renderer, and the sweep-level
+ * TraceSummary aggregation built on merge.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "sim/histogram.hh"
+#include "sim/trace.hh"
 
 using namespace sp;
 
@@ -72,6 +79,161 @@ TEST(Histogram, ResetClears)
     h.reset();
     EXPECT_EQ(h.samples(), 0u);
     EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZeroForEveryFraction)
+{
+    Histogram h;
+    for (double f : {0.0, 0.001, 0.5, 0.999, 1.0})
+        EXPECT_EQ(h.percentileUpperBound(f), 0u) << f;
+}
+
+TEST(Histogram, PercentileOfSingleSampleIsTheSample)
+{
+    for (uint64_t v : {uint64_t(0), uint64_t(1), uint64_t(37),
+                       uint64_t(1) << 40}) {
+        Histogram h;
+        h.record(v);
+        for (double f : {0.0, 0.001, 0.5, 0.999, 1.0})
+            EXPECT_EQ(h.percentileUpperBound(f), v) << v << " @ " << f;
+    }
+}
+
+TEST(Histogram, PercentileExtremesAreMinAndMax)
+{
+    Histogram h;
+    for (uint64_t v : {3u, 40u, 500u, 6000u})
+        h.record(v);
+    EXPECT_EQ(h.percentileUpperBound(0.0), 3u);
+    EXPECT_EQ(h.percentileUpperBound(-0.5), 3u);
+    EXPECT_EQ(h.percentileUpperBound(1.0), 6000u);
+    EXPECT_EQ(h.percentileUpperBound(2.0), 6000u);
+}
+
+// A sample in the saturating overflow bucket has no power-of-two upper
+// boundary; the contract is to report the exact recorded max.
+TEST(Histogram, PercentileInOverflowBucketReportsExactMax)
+{
+    Histogram h;
+    h.record(5);
+    uint64_t huge = ~uint64_t(0) - 3;
+    h.record(huge);
+    EXPECT_EQ(h.percentileUpperBound(1.0), huge);
+    EXPECT_EQ(h.percentileUpperBound(0.999), huge);
+    EXPECT_EQ(h.percentileUpperBound(0.25), 8u);
+}
+
+// Bounds never exceed the recorded max even when the bucket boundary
+// does (96 samples land in [64,128) but the max is 100).
+TEST(Histogram, PercentileBoundClampsToRecordedMax)
+{
+    Histogram h;
+    for (uint64_t v = 65; v <= 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.percentileUpperBound(0.5), 100u);
+}
+
+TEST(Histogram, MergeEqualsConcatenation)
+{
+    // Bucket-aligned values: every sample is a power of two, so the
+    // merged histogram is bucket-for-bucket the concatenated one and
+    // all derived statistics agree exactly.
+    std::vector<uint64_t> first = {1, 4, 16, 16, 64};
+    std::vector<uint64_t> second = {2, 4, 256, 1024};
+    Histogram a, b, all;
+    for (uint64_t v : first) {
+        a.record(v);
+        all.record(v);
+    }
+    for (uint64_t v : second) {
+        b.record(v);
+        all.record(v);
+    }
+    Histogram merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.samples(), all.samples());
+    EXPECT_EQ(merged.min(), all.min());
+    EXPECT_EQ(merged.max(), all.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), all.mean());
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+        EXPECT_EQ(merged.bucket(i), all.bucket(i)) << "bucket " << i;
+    for (double f : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        EXPECT_EQ(merged.percentileUpperBound(f),
+                  all.percentileUpperBound(f))
+            << f;
+    }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentityBothWays)
+{
+    Histogram a;
+    for (uint64_t v : {7u, 80u, 900u})
+        a.record(v);
+    std::string before = [&] {
+        std::ostringstream os;
+        a.print(os);
+        return os.str();
+    }();
+
+    Histogram withEmpty = a;
+    withEmpty.merge(Histogram{});
+    std::ostringstream osA;
+    withEmpty.print(osA);
+    EXPECT_EQ(osA.str(), before);
+    EXPECT_EQ(withEmpty.min(), a.min());
+    EXPECT_EQ(withEmpty.max(), a.max());
+
+    Histogram emptyWith;
+    emptyWith.merge(a);
+    std::ostringstream osB;
+    emptyWith.print(osB);
+    EXPECT_EQ(osB.str(), before);
+    EXPECT_EQ(emptyWith.samples(), a.samples());
+    EXPECT_EQ(emptyWith.min(), a.min());
+    EXPECT_EQ(emptyWith.max(), a.max());
+}
+
+TEST(Histogram, JsonHasTailFieldsAndParses)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    std::ostringstream os;
+    histogramJson(os, "lat", h);
+    std::string json = "{" + os.str() + "}";
+    std::string error;
+    EXPECT_TRUE(jsonIsValid(json, &error)) << error << ": " << json;
+    EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+    EXPECT_NE(json.find("\"n\":1000"), std::string::npos);
+}
+
+// The sweep summary's histograms are built with merge; across a traced
+// sweep they must carry exactly the union of the per-run samples.
+TEST(Histogram, SweepTraceAggregationConcatenatesRuns)
+{
+    std::vector<RunConfig> grid;
+    for (WorkloadKind kind :
+         {WorkloadKind::kBTree, WorkloadKind::kHashMap}) {
+        RunConfig cfg;
+        cfg.kind = kind;
+        cfg.params.seed = 42;
+        cfg.params.initOps = 200;
+        cfg.params.simOps = 25;
+        cfg.params.mode = PersistMode::kLogPSf;
+        cfg.trace.categories = kTraceAll;
+        grid.push_back(cfg);
+    }
+    std::vector<SweepRunResult> results = SweepEngine().run(grid);
+    SweepSummary summary = summarizeSweep(results);
+    ASSERT_EQ(summary.tracedRuns, grid.size());
+    uint64_t fenceSamples = 0, epochSamples = 0;
+    for (const SweepRunResult &r : results) {
+        fenceSamples += r.run.trace.fenceStall.samples();
+        epochSamples += r.run.trace.epochDuration.samples();
+    }
+    EXPECT_EQ(summary.fenceStall.samples(), fenceSamples);
+    EXPECT_EQ(summary.epochDuration.samples(), epochSamples);
+    EXPECT_GT(fenceSamples, 0u);
 }
 
 TEST(Histogram, PrintShowsSummary)
