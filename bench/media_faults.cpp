@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Media-fault bench: NVMM corruption-at-crash verdicts across every
+ * workload, fault class, and scrubber setting.
+ *
+ * Each grid point runs a full media-fault campaign (harness/campaign.hh):
+ * crash the checksummed workload on a log-spaced grid, inject a seeded
+ * fault plan into the crash image, run detect-repair-degrade recovery,
+ * and compare against a pristine-recovery oracle. The table aggregates
+ * the per-cell verdicts; the headline (and exit status) is zero silent
+ * escapes everywhere. Set SP_CSV_DIR to collect the per-cell campaign
+ * CSVs as artifacts.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/report.hh"
+#include "harness/table.hh"
+#include "pmem/recovery.hh"
+
+using namespace sp;
+
+namespace
+{
+
+struct GridPoint
+{
+    const char *label;
+    double silentFraction;
+    Tick scrubInterval;
+};
+
+/** Per-workload aggregation of one campaign's media cells. */
+struct Agg
+{
+    unsigned cells = 0;
+    uint64_t applied = 0;
+    uint64_t scrubbed = 0;
+    uint64_t detected = 0;
+    uint64_t repaired = 0;
+    uint64_t degraded = 0;
+    uint64_t escapes = 0;
+    unsigned clean = 0;
+    unsigned repairedV = 0;
+    unsigned degradedV = 0;
+    unsigned unrecoverable = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== Media faults: corruption x crash x workload campaign "
+                 "==\n\n";
+
+    const std::vector<GridPoint> grid = {
+        {"ecc", 0.0, 0},     {"ecc+scrub", 0.0, 4096},
+        {"silent", 1.0, 0},  {"mixed", 0.5, 0},
+        {"mixed+scrub", 0.5, 4096},
+    };
+
+    Table table({"bench", "class", "scrub", "cells", "applied", "scrubbed",
+                 "detected", "repaired", "degraded", "escapes",
+                 "verdicts c/r/d/u"});
+    bool allPassed = true;
+    uint64_t totalEscapes = 0;
+
+    for (const GridPoint &gp : grid) {
+        CampaignOptions opts;
+        opts.crashPoints = 3;
+        opts.conflictPeriods = {}; // media axis only
+        opts.mediaFaults = true;
+        opts.mediaFaultCount = 3;
+        opts.mediaSilentFraction = gp.silentFraction;
+        opts.mediaScrubInterval = gp.scrubInterval;
+        opts.mediaDraws = 2;
+        opts.seed = 7;
+
+        CampaignReport report = runFaultCampaign(opts);
+        allPassed = allPassed && report.passed();
+        totalEscapes += report.silentEscapes;
+
+        std::map<std::string, Agg> perKind;
+        for (const CampaignCellResult &cell : report.cells) {
+            if (cell.kind != CampaignCellKind::kMedia || !cell.mediaChecked)
+                continue;
+            Agg &a = perKind[workloadKindName(cell.workload)];
+            ++a.cells;
+            a.applied += cell.mediaApplied;
+            a.scrubbed += cell.mediaScrubbed;
+            a.detected += cell.mediaDetected;
+            a.repaired += cell.mediaRepaired;
+            a.degraded += cell.mediaDegraded;
+            a.escapes += cell.mediaEscapes;
+            switch (cell.mediaVerdict) {
+              case RecoveryVerdict::kClean:
+                ++a.clean;
+                break;
+              case RecoveryVerdict::kRepaired:
+                ++a.repairedV;
+                break;
+              case RecoveryVerdict::kDegraded:
+                ++a.degradedV;
+                break;
+              case RecoveryVerdict::kUnrecoverable:
+                ++a.unrecoverable;
+                break;
+            }
+        }
+        for (const auto &[kind, a] : perKind) {
+            table.addRow({kind, gp.label, std::to_string(gp.scrubInterval),
+                          std::to_string(a.cells),
+                          std::to_string(a.applied),
+                          std::to_string(a.scrubbed),
+                          std::to_string(a.detected),
+                          std::to_string(a.repaired),
+                          std::to_string(a.degraded),
+                          std::to_string(a.escapes),
+                          std::to_string(a.clean) + "/" +
+                              std::to_string(a.repairedV) + "/" +
+                              std::to_string(a.degradedV) + "/" +
+                              std::to_string(a.unrecoverable)});
+        }
+
+        if (const char *dir = std::getenv("SP_CSV_DIR")) {
+            std::string path = std::string(dir) + "/media_faults_" +
+                gp.label + "_campaign.csv";
+            std::ofstream out(path);
+            if (out)
+                report.writeCsv(out);
+        }
+    }
+
+    table.print(std::cout);
+    maybeWriteCsv("media_faults", table);
+
+    std::cout << "\nmedia campaign " << (allPassed ? "PASSED" : "FAILED")
+              << ": " << totalEscapes << " silent escapes across the grid\n"
+              << "(every line that differs from the pristine-recovery "
+                 "oracle must be reported by recovery -- detected, "
+                 "repaired, or degraded -- never silent)\n";
+    return allPassed && totalEscapes == 0 ? 0 : 1;
+}

@@ -16,6 +16,26 @@
  *         [--trace] [--trace=FILE] [--trace-csv=FILE]
  *         [--trace-categories=LIST] [--sample-every=N]
  *         [--audit[=FILE]] [--cycle-account[=FILE]]
+ *         [--checksums] [--media-faults[=N]]
+ *         [--fault-class=ecc|silent|mixed] [--scrub=CYCLES]
+ *
+ * Exit status: 0 on success; 1 when a run or verdict fails (audit
+ * violations, campaign FAILED); 2 on a usage error (unknown flag, bad
+ * value, contradictory combination).
+ *
+ * Media faults:
+ *   --checksums         arm the checksummed image format (per-line CRC
+ *                       slots, CRC'd undo-log entries) so hardened
+ *                       recovery can detect and repair corruption
+ *   --media-faults[=N]  inject N NVMM media faults (bit flips, stuck
+ *                       words, torn residue; default 4) into the crash
+ *                       image; requires --crash-at or --crash-matrix
+ *   --fault-class       ecc (every fault raises a MediaFault signal on
+ *                       read), silent (no signal; only checksums can
+ *                       catch it), or mixed (half and half; default)
+ *   --scrub=CYCLES      model a patrol scrubber with this period: ECC
+ *                       faults that land before the last scrub tick are
+ *                       repaired before recovery ever sees them
  *
  * Cycle accounting:
  *   --cycle-account     attach the CycleAccountant (sim/cycle_account.hh)
@@ -106,6 +126,8 @@ usage(const char *msg = nullptr)
         "             [--trace] [--trace=FILE] [--trace-csv=FILE]\n"
         "             [--trace-categories=LIST] [--sample-every=N]\n"
         "             [--audit[=FILE]] [--cycle-account[=FILE]]\n"
+        "             [--checksums] [--media-faults[=N]]\n"
+        "             [--fault-class=ecc|silent|mixed] [--scrub=CYCLES]\n"
         "\n"
         "  --audit      durability audit of the retired op stream\n"
         "               (missing/late clwb, unordered flushes, redundant\n"
@@ -113,8 +135,16 @@ usage(const char *msg = nullptr)
         "               on violations\n"
         "  --cycle-account  exhaustive CPI-stack attribution and the\n"
         "               hidden/exposed persist-barrier ledger; =FILE\n"
-        "               writes the JSON account\n";
-    std::exit(msg ? 1 : 0);
+        "               writes the JSON account\n"
+        "  --checksums  arm the checksummed image format (CRC slots +\n"
+        "               CRC'd undo log) for hardened recovery\n"
+        "  --media-faults[=N]  inject N NVMM media faults into the crash\n"
+        "               image (needs --crash-at or --crash-matrix)\n"
+        "  --fault-class  ecc | silent | mixed fault population\n"
+        "  --scrub=CYCLES  patrol-scrubber period for ECC faults\n"
+        "\n"
+        "exit status: 0 ok; 1 run/verdict failure; 2 usage error\n";
+    std::exit(msg ? 2 : 0);
 }
 
 uint64_t
@@ -147,6 +177,9 @@ main(int argc, char **argv)
     std::string audit_file;
     bool account = false;
     std::string account_file;
+    bool media = false;
+    bool fault_class_given = false;
+    bool scrub_given = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -286,10 +319,50 @@ main(int argc, char **argv)
             cfg.account.enabled = true;
             if (has_inline)
                 account_file = inline_value;
+        } else if (flag == "--checksums") {
+            cfg.params.checksums = true;
+        } else if (flag == "--media-faults") {
+            media = true;
+            cfg.sim.fault.media.enabled = true;
+            if (has_inline) {
+                cfg.sim.fault.media.faults = static_cast<unsigned>(
+                    parseNum(inline_value.c_str(), "--media-faults"));
+                if (cfg.sim.fault.media.faults == 0)
+                    usage("--media-faults needs at least one fault; drop "
+                          "the flag to run without media corruption");
+            }
+        } else if (flag == "--fault-class") {
+            fault_class_given = true;
+            std::string c = value();
+            if (c == "ecc")
+                cfg.sim.fault.media.silentFraction = 0.0;
+            else if (c == "silent")
+                cfg.sim.fault.media.silentFraction = 1.0;
+            else if (c == "mixed")
+                cfg.sim.fault.media.silentFraction = 0.5;
+            else
+                usage("--fault-class must be ecc, silent, or mixed");
+        } else if (flag == "--scrub") {
+            scrub_given = true;
+            cfg.sim.fault.media.scrubInterval =
+                parseNum(value().c_str(), "--scrub");
         } else {
             usage(("unknown flag " + flag).c_str());
         }
     }
+
+    // Reject contradictory flag combinations with a pointer to the fix
+    // (exit 2, like every other usage error).
+    if (fault_class_given && !media)
+        usage("--fault-class classifies injected media faults; add "
+              "--media-faults[=N]");
+    if (scrub_given && !media)
+        usage("--scrub models a patrol scrubber for injected media "
+              "faults; add --media-faults[=N]");
+    if (media && crash_at == 0 && crash_matrix == 0)
+        usage("--media-faults corrupts a crash image; add --crash-at "
+              "CYCLE or --crash-matrix=N");
+    cfg.sim.fault.media.seed = cfg.params.seed;
 
     if (crash_matrix != 0) {
         // Campaign mode: a crash matrix (plus conflict cells when the
@@ -312,9 +385,16 @@ main(int argc, char **argv)
         opts.seed = cfg.params.seed;
         opts.initOps = cfg.params.initOps;
         opts.simOps = cfg.params.simOps;
+        if (media) {
+            opts.mediaFaults = true;
+            opts.mediaFaultCount = cfg.sim.fault.media.faults;
+            opts.mediaSilentFraction = cfg.sim.fault.media.silentFraction;
+            opts.mediaScrubInterval = cfg.sim.fault.media.scrubInterval;
+        }
 
         std::cout << "spcli: fault campaign, " << workloadKindName(cfg.kind)
-                  << ", " << crash_matrix << " crash points, seed "
+                  << ", " << crash_matrix << " crash points"
+                  << (media ? ", media faults armed" : "") << ", seed "
                   << opts.seed << "\n";
         CampaignReport report = runFaultCampaign(opts);
         for (const CampaignCellResult &cell : report.cells) {
@@ -333,6 +413,17 @@ main(int argc, char **argv)
                           << (cell.finalStateMatched
                                   ? ", final image golden"
                                   : ", FINAL IMAGE DIFFERS");
+            }
+            if (cell.kind == CampaignCellKind::kMedia &&
+                cell.mediaChecked) {
+                std::cout << ", " << recoveryVerdictName(cell.mediaVerdict)
+                          << ": " << cell.mediaApplied << " faults ("
+                          << cell.mediaScrubbed << " scrubbed), "
+                          << cell.mediaRepaired << " repaired, "
+                          << cell.mediaDegraded << " degraded, "
+                          << cell.mediaEscapes
+                          << (cell.mediaEscapes == 0 ? " escapes"
+                                                     : " SILENT ESCAPES");
             }
             std::cout << "\n";
         }
@@ -381,7 +472,44 @@ main(int argc, char **argv)
     RunResult r = runExperiment(cfg, crash_at, tracer.get());
     std::cout << "outcome: " << runOutcomeName(r.outcome) << "\n\n";
 
-    if (crash_at != 0 && !r.completed) {
+    if (crash_at != 0 && !r.completed &&
+        (media || cfg.params.checksums)) {
+        // Hardened detect-repair-degrade recovery: the path media faults
+        // and checksummed images exercise.
+        std::cout << "crashed at cycle " << crash_at;
+        if (media) {
+            std::cout << "; " << r.mediaFaults.applied()
+                      << " media faults applied ("
+                      << r.mediaFaults.scrubbed() << " scrubbed)";
+        }
+        std::cout << "; running hardened recovery...\n";
+        RecoveryOptions ropts;
+        ropts.checksums = cfg.params.checksums;
+        RecoveryReport rep = recoverImageHardened(r.durable, ropts);
+        uint64_t gen = Workload::generation(r.durable);
+        std::cout << "  verdict " << recoveryVerdictName(rep.verdict)
+                  << ": " << rep.entriesApplied << "/" << rep.entriesWalked
+                  << " undo entries applied, " << rep.entriesDropped
+                  << " dropped, " << rep.faultsDetected
+                  << " faults detected, " << rep.crcMismatches
+                  << " CRC mismatches, " << rep.linesRepaired
+                  << " lines repaired, " << rep.degradedLines.size()
+                  << " degraded, " << rep.retries << " retries\n";
+        if (rep.verdict != RecoveryVerdict::kUnrecoverable) {
+            auto w = makeWorkload(cfg.kind, cfg.params);
+            w->setup();
+            w->runFunctionalToGeneration(gen);
+            std::string why;
+            bool ok = w->checkImage(r.durable, &why) &&
+                w->contents(r.durable) == w->contents(w->image());
+            std::cout << "  generation " << gen << " -> "
+                      << (ok ? "live state recovered exactly"
+                             : "MISMATCH: " + why)
+                      << "\n\n";
+        } else {
+            std::cout << "  image reported unusable (loud failure)\n\n";
+        }
+    } else if (crash_at != 0 && !r.completed) {
         std::cout << "crashed at cycle " << crash_at << "; recovering the "
                   << "durable image...\n";
         RecoveryResult rec = recoverImage(r.durable);

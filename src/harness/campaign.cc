@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "harness/sweep.hh"
+#include "pmem/log_format.hh"
 #include "pmem/recovery.hh"
 #include "sim/logging.hh"
 
@@ -19,6 +20,8 @@ campaignCellKindName(CampaignCellKind kind)
         return "crash";
       case CampaignCellKind::kConflict:
         return "conflict";
+      case CampaignCellKind::kMedia:
+        return "media";
     }
     return "?";
 }
@@ -44,6 +47,10 @@ struct Prep
     uint64_t refGeneration = 0;
     /** Final durable image hash of the golden non-speculative run. */
     uint64_t goldenHash = 0;
+    /** Checksums-on variant (media cells only; unused otherwise). */
+    RunConfig csBase;
+    Tick csRefCycles = 0;
+    uint64_t csRefGeneration = 0;
 };
 
 /** One cell of the campaign grid, fully described before execution. */
@@ -53,6 +60,8 @@ struct Cell
     size_t prepIndex;
     RunConfig cfg;
     Tick crashAt = 0;
+    /** Media cells: seed of the fault plan this cell draws. */
+    uint64_t mediaSeed = 0;
 };
 
 /**
@@ -140,6 +149,119 @@ runConflictCell(const Cell &cell, const Prep &prep, CampaignCellResult &out)
         out.error = "final durable image differs from the golden run";
 }
 
+/**
+ * Execute one media cell: crash a checksummed run, recover the pristine
+ * image as the oracle, then apply a seeded media-fault plan to a twin of
+ * the same crash image, run the hardened detect-repair-degrade recovery,
+ * and require every line that differs from the oracle to be dead or
+ * reported -- zero silent escapes.
+ */
+void
+runMediaCell(const Cell &cell, const Prep &prep, const CampaignOptions &opts,
+             CampaignCellResult &out)
+{
+    RunResult crashed = runExperiment(cell.cfg, cell.crashAt);
+    out.outcome = crashed.outcome;
+    out.cycles = crashed.stats.cycles;
+    out.aborts = crashed.stats.aborts;
+    out.conflictProbes = crashed.stats.conflictProbes;
+    out.watchdogDegradations = crashed.stats.watchdogDegradations;
+    if (crashed.outcome != RunOutcome::kCrashed)
+        return; // crashAt beyond completion: nothing to corrupt
+
+    out.mediaChecked = true;
+
+    RecoveryOptions ropts;
+    ropts.checksums = true;
+    ropts.maxRetries = opts.mediaRetries;
+
+    // Oracle: hardened recovery of the pristine crash image must match
+    // the functional replay, or the escape scan below would diff against
+    // garbage. (kDegraded is acceptable here: a crash can leave a
+    // reallocated-but-unlogged line half-written, which recovery drops;
+    // the replay comparison proves every *live* line is right.)
+    MemImage clean = crashed.durable;
+    RecoveryReport repClean = recoverImageHardened(clean, ropts);
+    out.recoveredGeneration = Workload::generation(clean);
+    out.imageHash = clean.hash();
+    if (repClean.verdict == RecoveryVerdict::kUnrecoverable) {
+        out.error = "pristine crash image unrecoverable";
+        return;
+    }
+    if (out.recoveredGeneration > prep.csRefGeneration) {
+        out.error = "recovered generation " +
+            std::to_string(out.recoveredGeneration) +
+            " exceeds the reference run's " +
+            std::to_string(prep.csRefGeneration);
+        return;
+    }
+    auto replay = makeWorkload(cell.cfg.kind, cell.cfg.params);
+    replay->setup();
+    replay->runFunctionalToGeneration(out.recoveredGeneration);
+    std::string why;
+    if (!replay->checkImage(clean, &why)) {
+        out.error = "pristine recovered image invalid: " + why;
+        return;
+    }
+    if (replay->contents(clean) != replay->contents(replay->image())) {
+        out.error = "pristine recovery missed the replayed boundary";
+        return;
+    }
+
+    // Faulted twin: a seeded fault plan over the same crash image.
+    MediaFaultConfig mcfg;
+    mcfg.enabled = true;
+    mcfg.faults = opts.mediaFaultCount;
+    mcfg.silentFraction = opts.mediaSilentFraction;
+    mcfg.scrubInterval = opts.mediaScrubInterval;
+    mcfg.seed = cell.mediaSeed;
+    MemImage faulted = crashed.durable;
+    MediaFaultPlan plan =
+        planMediaFaults(mcfg, faulted, crashed.stats.cycles);
+    applyMediaFaults(faulted, plan);
+    out.mediaPlanned = plan.faults.size();
+    out.mediaApplied = plan.applied();
+    out.mediaScrubbed = plan.scrubbed();
+
+    RecoveryReport repF = recoverImageHardened(faulted, ropts);
+    out.mediaVerdict = repF.verdict;
+    out.mediaDetected = repF.detectedLines.size();
+    out.mediaRepaired = repF.linesRepaired;
+    out.mediaDegraded = repF.degradedLines.size();
+    out.mediaRetries = repF.retries;
+
+    // Bounded-retry liveness: each applied fault corrupts exactly one
+    // line, and recovery retries a line at most maxRetries times during
+    // verification plus once in the poison sweep.
+    out.mediaRetryBounded = repF.retries <=
+        out.mediaApplied * (static_cast<uint64_t>(opts.mediaRetries) + 1);
+
+    if (repF.verdict == RecoveryVerdict::kUnrecoverable) {
+        // Loud failure: the broken log chain was detected and the image
+        // reported unusable, so nothing escaped silently.
+        out.mediaNoEscapes = true;
+        return;
+    }
+
+    // Silent-escape scan.
+    for (Addr line : diffLines(faulted, clean)) {
+        if (line >= kCrcBase)
+            continue; // slot table: derived data, rebuilt or invalidated
+        if (line >= kLogEntryBase && line < kLogBase + kLogBytes)
+            continue; // log entries are dead once the header clears
+        if (std::binary_search(repF.detectedLines.begin(),
+                               repF.detectedLines.end(), line))
+            continue; // reported (detected or degraded)
+        if (crcCovered(line)) {
+            uint64_t slot = clean.readInt(crcSlotAddr(line), 8);
+            if (!(slot & kCrcSlotValid))
+                continue; // not covered in the oracle either: dead data
+        }
+        ++out.mediaEscapes;
+    }
+    out.mediaNoEscapes = out.mediaEscapes == 0;
+}
+
 } // namespace
 
 CampaignReport
@@ -166,16 +288,32 @@ runFaultCampaign(const CampaignOptions &opts)
         RunConfig golden = prep.base;
         golden.sim.sp.enabled = false;
         prepCfgs.push_back(golden);
+        if (opts.mediaFaults) {
+            // Media cells run with checksums armed; their crash grid is
+            // spaced by this variant's own cycle count (the CRC
+            // maintenance stores stretch every transaction).
+            prep.csBase = prep.base;
+            prep.csBase.params.checksums = true;
+            prepCfgs.push_back(prep.csBase);
+        }
     }
+    const size_t stride = opts.mediaFaults ? 3 : 2;
     std::vector<SweepRunResult> prepRuns = engine.run(prepCfgs);
     for (size_t i = 0; i < preps.size(); ++i) {
-        const SweepRunResult &ref = prepRuns[2 * i];
-        const SweepRunResult &golden = prepRuns[2 * i + 1];
+        const SweepRunResult &ref = prepRuns[stride * i];
+        const SweepRunResult &golden = prepRuns[stride * i + 1];
         SP_ASSERT(ref.ok && golden.ok, "campaign reference run threw: ",
                   ref.ok ? golden.error : ref.error);
         preps[i].refCycles = ref.run.stats.cycles;
         preps[i].refGeneration = ref.run.functionalGeneration;
         preps[i].goldenHash = golden.run.durable.hash();
+        if (opts.mediaFaults) {
+            const SweepRunResult &cs = prepRuns[stride * i + 2];
+            SP_ASSERT(cs.ok, "campaign checksummed reference threw: ",
+                      cs.error);
+            preps[i].csRefCycles = cs.run.stats.cycles;
+            preps[i].csRefGeneration = cs.run.functionalGeneration;
+        }
     }
 
     // ---- Phase 2: build the cell grid (fixed order = deterministic
@@ -226,6 +364,34 @@ runFaultCampaign(const CampaignOptions &opts)
                 grid.push_back(cell);
             }
         }
+
+        if (opts.mediaFaults && opts.crashPoints > 0) {
+            // Same log-spaced grid as the crash cells, but over the
+            // checksummed variant's cycle count; each point draws
+            // mediaDraws independent fault plans.
+            double lo = std::log(64.0);
+            double hi = std::log(static_cast<double>(
+                prep.csRefCycles > 65 ? prep.csRefCycles - 1 : 65));
+            for (unsigned i = 0; i < opts.crashPoints; ++i) {
+                double t = opts.crashPoints > 1
+                    ? lo + (hi - lo) * i / (opts.crashPoints - 1)
+                    : (lo + hi) / 2;
+                for (unsigned draw = 0; draw < opts.mediaDraws; ++draw) {
+                    Cell cell;
+                    cell.kind = CampaignCellKind::kMedia;
+                    cell.prepIndex = p;
+                    cell.cfg = prep.csBase;
+                    cell.cfg.sim.fault.crash.tornWrites = opts.tornWrites;
+                    cell.cfg.sim.fault.crash.pcommitJitterCycles =
+                        opts.pcommitJitterCycles;
+                    cell.cfg.sim.fault.crash.seed =
+                        opts.seed * 1000003 + grid.size();
+                    cell.crashAt = static_cast<Tick>(std::exp(t));
+                    cell.mediaSeed = opts.seed * 2000003 + grid.size();
+                    grid.push_back(cell);
+                }
+            }
+        }
     }
 
     // ---- Phase 3: execute every cell on the pool. Each task writes its
@@ -245,6 +411,11 @@ runFaultCampaign(const CampaignOptions &opts)
                 out.config += " crashAt=" + std::to_string(cell.crashAt);
                 runCrashCell(cell, preps[cell.prepIndex],
                              opts.doubleCrashDraws, out);
+            } else if (cell.kind == CampaignCellKind::kMedia) {
+                out.crashAt = cell.crashAt;
+                out.config += " crashAt=" + std::to_string(cell.crashAt) +
+                    " mediaSeed=" + std::to_string(cell.mediaSeed);
+                runMediaCell(cell, preps[cell.prepIndex], opts, out);
             } else {
                 runConflictCell(cell, preps[cell.prepIndex], out);
             }
@@ -261,6 +432,8 @@ runFaultCampaign(const CampaignOptions &opts)
         }
         if (cell.kind == CampaignCellKind::kCrash)
             ++report.crashCells;
+        else if (cell.kind == CampaignCellKind::kMedia)
+            ++report.mediaCells;
         else
             ++report.conflictCells;
         switch (cell.outcome) {
@@ -284,6 +457,29 @@ runFaultCampaign(const CampaignOptions &opts)
             if (cell.finalStateMatched)
                 ++report.conflictMatched;
         }
+        if (cell.mediaChecked) {
+            ++report.mediaChecked;
+            if (cell.mediaNoEscapes && cell.mediaRetryBounded)
+                ++report.mediaMatched;
+            report.silentEscapes += cell.mediaEscapes;
+            report.mediaFaultsApplied += cell.mediaApplied;
+            report.mediaFaultsScrubbed += cell.mediaScrubbed;
+            report.mediaLinesRepaired += cell.mediaRepaired;
+            switch (cell.mediaVerdict) {
+              case RecoveryVerdict::kClean:
+                ++report.mediaCleanCells;
+                break;
+              case RecoveryVerdict::kRepaired:
+                ++report.mediaRepairedCells;
+                break;
+              case RecoveryVerdict::kDegraded:
+                ++report.mediaDegradedCells;
+                break;
+              case RecoveryVerdict::kUnrecoverable:
+                ++report.mediaUnrecoverableCells;
+                break;
+            }
+        }
         report.totalAborts += cell.aborts;
         report.totalProbes += cell.conflictProbes;
         report.totalWallMs += cell.wallMs;
@@ -296,7 +492,8 @@ CampaignReport::passed() const
 {
     return exceptionCells == 0 && maxCyclesCells == 0 &&
         recoveryMatched == recoveryChecked &&
-        conflictMatched == conflictChecked;
+        conflictMatched == conflictChecked &&
+        mediaMatched == mediaChecked && silentEscapes == 0;
 }
 
 uint64_t
@@ -332,6 +529,18 @@ CampaignReport::signature() const
         word(cell.recoveredGeneration);
         byte(cell.finalStateMatched ? 1 : 0);
         word(cell.imageHash);
+        byte(cell.mediaChecked ? 1 : 0);
+        byte(cell.mediaNoEscapes ? 1 : 0);
+        byte(cell.mediaRetryBounded ? 1 : 0);
+        byte(static_cast<uint8_t>(cell.mediaVerdict));
+        word(cell.mediaPlanned);
+        word(cell.mediaApplied);
+        word(cell.mediaScrubbed);
+        word(cell.mediaDetected);
+        word(cell.mediaRepaired);
+        word(cell.mediaDegraded);
+        word(cell.mediaRetries);
+        word(cell.mediaEscapes);
     }
     return h;
 }
@@ -349,6 +558,17 @@ CampaignReport::toJson() const
        << ",\"recoveryMatched\":" << recoveryMatched
        << ",\"conflictChecked\":" << conflictChecked
        << ",\"conflictMatched\":" << conflictMatched
+       << ",\"mediaCells\":" << mediaCells
+       << ",\"mediaChecked\":" << mediaChecked
+       << ",\"mediaMatched\":" << mediaMatched
+       << ",\"silentEscapes\":" << silentEscapes
+       << ",\"mediaCleanCells\":" << mediaCleanCells
+       << ",\"mediaRepairedCells\":" << mediaRepairedCells
+       << ",\"mediaDegradedCells\":" << mediaDegradedCells
+       << ",\"mediaUnrecoverableCells\":" << mediaUnrecoverableCells
+       << ",\"mediaFaultsApplied\":" << mediaFaultsApplied
+       << ",\"mediaFaultsScrubbed\":" << mediaFaultsScrubbed
+       << ",\"mediaLinesRepaired\":" << mediaLinesRepaired
        << ",\"totalAborts\":" << totalAborts
        << ",\"totalProbes\":" << totalProbes
        << ",\"totalWallMs\":" << totalWallMs
@@ -363,7 +583,9 @@ CampaignReport::writeCsv(std::ostream &os) const
 {
     os << "index,kind,workload,outcome,crash_at,cycles,aborts,"
           "probes,abort_rate,degradations,recovered_gen,recovery_ok,"
-          "final_match,image_hash\n";
+          "final_match,image_hash,media_verdict,media_applied,"
+          "media_scrubbed,media_detected,media_repaired,media_degraded,"
+          "media_retries,media_escapes,media_ok\n";
     for (const CampaignCellResult &cell : cells) {
         double abortRate = cell.conflictProbes
             ? static_cast<double>(cell.aborts) /
@@ -381,7 +603,19 @@ CampaignReport::writeCsv(std::ostream &os) const
            << (cell.kind == CampaignCellKind::kConflict
                    ? (cell.finalStateMatched ? "1" : "0")
                    : "")
-           << "," << std::hex << cell.imageHash << std::dec << "\n";
+           << "," << std::hex << cell.imageHash << std::dec;
+        if (cell.mediaChecked) {
+            os << "," << recoveryVerdictName(cell.mediaVerdict) << ","
+               << cell.mediaApplied << "," << cell.mediaScrubbed << ","
+               << cell.mediaDetected << "," << cell.mediaRepaired << ","
+               << cell.mediaDegraded << "," << cell.mediaRetries << ","
+               << cell.mediaEscapes << ","
+               << (cell.mediaNoEscapes && cell.mediaRetryBounded ? "1"
+                                                                 : "0");
+        } else {
+            os << ",,,,,,,,,";
+        }
+        os << "\n";
     }
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "harness/runner.hh"
+#include "pmem/recovery.hh"
 
 namespace sp
 {
@@ -41,6 +42,8 @@ enum class CampaignCellKind : uint8_t
 {
     kCrash,
     kConflict,
+    /** Crash + NVMM media corruption + hardened recovery (checksums on). */
+    kMedia,
 };
 
 const char *campaignCellKindName(CampaignCellKind kind);
@@ -83,6 +86,31 @@ struct CampaignOptions
      *  run's cycle count. */
     Tick maxCyclesFactor = 50;
 
+    // --- Media-fault axis -------------------------------------------------
+    /**
+     * Inject NVMM media faults into crash images and verify the hardened
+     * detect-repair-degrade recovery (pmem/recovery.hh). Media cells run
+     * the workload with checksums enabled, crash it on the same
+     * log-spaced grid as crash cells, then recover the image twice: once
+     * pristine (the oracle) and once after a seeded media-fault plan.
+     * The verdict is mechanical: every line that differs between the two
+     * recovered images must have been reported by recovery (detected or
+     * degraded) -- zero silent-corruption escapes -- and the retry
+     * counter must stay within the bounded-retry contract. Requires
+     * crashPoints > 0 to generate any cells.
+     */
+    bool mediaFaults = false;
+    /** Faults per media cell's plan. */
+    unsigned mediaFaultCount = 3;
+    /** Fraction of faults that corrupt silently (no ECC signal). */
+    double mediaSilentFraction = 0.5;
+    /** Patrol-scrubber period in cycles (0 = no scrubber). */
+    Tick mediaScrubInterval = 0;
+    /** Independent fault-plan draws per crash point. */
+    unsigned mediaDraws = 2;
+    /** Bounded-retry budget handed to hardened recovery. */
+    unsigned mediaRetries = 2;
+
     // --- Shared -----------------------------------------------------------
     /** Master seed; every injector seed derives from it and a cell index. */
     uint64_t seed = 1;
@@ -123,6 +151,25 @@ struct CampaignCellResult
     /** Final durable image equals the golden non-speculative run's. */
     bool finalStateMatched = false;
 
+    // --- Media cells ------------------------------------------------------
+    /** The cell reached the corruption experiment (the run crashed). */
+    bool mediaChecked = false;
+    /** Verdict: no unreported (silent) line escaped into live data. */
+    bool mediaNoEscapes = false;
+    /** Verdict: retries stayed within the bounded-retry contract. */
+    bool mediaRetryBounded = false;
+    /** Hardened-recovery verdict on the faulted image. */
+    RecoveryVerdict mediaVerdict = RecoveryVerdict::kClean;
+    uint64_t mediaPlanned = 0;
+    uint64_t mediaApplied = 0;
+    uint64_t mediaScrubbed = 0;
+    uint64_t mediaDetected = 0;
+    uint64_t mediaRepaired = 0;
+    uint64_t mediaDegraded = 0;
+    uint64_t mediaRetries = 0;
+    /** Live lines that differ from the oracle without being reported. */
+    uint64_t mediaEscapes = 0;
+
     /** Hash of the recovered (crash) or final (conflict) durable image. */
     uint64_t imageHash = 0;
     /** Wall-clock time of the cell (excluded from signature()). */
@@ -142,6 +189,20 @@ struct CampaignReport
     unsigned recoveryMatched = 0;
     unsigned conflictChecked = 0;
     unsigned conflictMatched = 0;
+    unsigned mediaCells = 0;
+    unsigned mediaChecked = 0;
+    /** Media cells with zero silent escapes AND bounded retries. */
+    unsigned mediaMatched = 0;
+    /** Sum of per-cell silent escapes (the headline must be zero). */
+    uint64_t silentEscapes = 0;
+    // Hardened-recovery verdict counts across checked media cells.
+    unsigned mediaCleanCells = 0;
+    unsigned mediaRepairedCells = 0;
+    unsigned mediaDegradedCells = 0;
+    unsigned mediaUnrecoverableCells = 0;
+    uint64_t mediaFaultsApplied = 0;
+    uint64_t mediaFaultsScrubbed = 0;
+    uint64_t mediaLinesRepaired = 0;
     uint64_t totalAborts = 0;
     uint64_t totalProbes = 0;
     double totalWallMs = 0;
@@ -149,7 +210,8 @@ struct CampaignReport
     /**
      * The campaign's acceptance criterion: no exception or max-cycles
      * cells, every crash cell recovered exactly, every conflict cell
-     * completed with a golden-identical final image.
+     * completed with a golden-identical final image, and every media
+     * cell free of silent escapes with bounded recovery retries.
      */
     bool passed() const;
 

@@ -31,6 +31,8 @@ runOutcomeName(RunOutcome outcome)
         return "max_cycles";
       case RunOutcome::kException:
         return "exception";
+      case RunOutcome::kTimeout:
+        return "timeout";
     }
     return "unknown";
 }
@@ -54,6 +56,15 @@ validateRunConfig(const RunConfig &cfg)
         reject("mem.wpqEntries must be > 0");
     if (cfg.sim.fault.conflict.enabled && cfg.sim.fault.conflict.period == 0)
         reject("conflict injection requires period > 0");
+    if (cfg.sim.fault.media.enabled && cfg.sim.fault.media.faults == 0)
+        reject("media-fault injection requires faults > 0");
+    if (cfg.sim.fault.media.enabled &&
+        (cfg.sim.fault.media.silentFraction < 0.0 ||
+         cfg.sim.fault.media.silentFraction > 1.0))
+        reject("media.silentFraction must be within [0, 1]");
+    if (!cfg.sim.fault.media.enabled &&
+        cfg.sim.fault.media.scrubInterval != 0)
+        reject("media.scrubInterval requires media.enabled");
 }
 
 std::string
@@ -78,6 +89,15 @@ describeRunConfig(const RunConfig &cfg)
         os << " jitter=" << fault.crash.pcommitJitterCycles;
     if (fault.watchdog.enabled)
         os << " watchdog=" << fault.watchdog.abortThreshold;
+    if (fault.media.enabled) {
+        os << " media=" << fault.media.faults
+           << " silent=" << fault.media.silentFraction
+           << " mseed=" << fault.media.seed;
+        if (fault.media.scrubInterval)
+            os << " scrub=" << fault.media.scrubInterval;
+    }
+    if (cfg.params.checksums)
+        os << " crc=1";
     if (cfg.sim.maxCycles)
         os << " maxCycles=" << cfg.sim.maxCycles;
     if (cfg.probePeriod)
@@ -187,6 +207,15 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
     } else if (result.outcome == RunOutcome::kCrashed &&
                cfg.sim.fault.crash.tornWrites) {
         mc.applyTornWrites(cfg.sim.fault.crash.seed ^ crashAtCycle);
+    }
+    // Media faults land last: they model the NVMM cells themselves
+    // degrading, so they corrupt whatever image the crash (including
+    // torn writes) actually left behind.
+    if (result.outcome == RunOutcome::kCrashed &&
+        cfg.sim.fault.media.enabled) {
+        result.mediaFaults = planMediaFaults(
+            cfg.sim.fault.media, result.durable, result.stats.cycles);
+        applyMediaFaults(result.durable, result.mediaFaults);
     }
     if (tracer)
         result.trace = tracer->summary();

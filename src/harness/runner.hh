@@ -79,6 +79,10 @@ enum class RunOutcome : uint8_t
     kMaxCycles,
     /** The run threw; see the sweep record's error string. */
     kException,
+    /** The run exceeded the sweep's per-run wall-clock timeout. Appended
+     *  after kException so existing outcome encodings (and the verdict
+     *  signatures built over them) are unchanged. */
+    kTimeout,
 };
 
 const char *runOutcomeName(RunOutcome outcome);
@@ -102,6 +106,9 @@ struct RunResult
     /** Cycle account (enabled == false when accounting was off);
      *  account.cycles == stats.cycles by the finalize() identity. */
     CycleAccount account;
+    /** Media faults injected into the crash snapshot (empty when
+     *  sim.fault.media is off or the run completed). */
+    MediaFaultPlan mediaFaults;
 };
 
 /**

@@ -31,7 +31,10 @@ SweepEngine::defaultWorkers()
 
 SweepEngine::SweepEngine(SweepOptions opts)
     : workers_(opts.workers > 0 ? opts.workers : defaultWorkers()),
-      onProgress_(std::move(opts.onProgress))
+      onProgress_(std::move(opts.onProgress)),
+      runTimeoutMs_(opts.runTimeoutMs),
+      transientRetries_(opts.transientRetries),
+      retryBackoffMs_(opts.retryBackoffMs)
 {
 }
 
@@ -95,22 +98,39 @@ SweepEngine::runTasks(size_t count,
         SweepRunResult &slot = results[idx];
         slot.index = idx;
         auto t0 = std::chrono::steady_clock::now();
-        try {
-            slot.run = task(idx);
-            slot.ok = true;
-            slot.outcome = slot.run.outcome;
-        } catch (const std::exception &e) {
-            slot.ok = false;
-            slot.error = e.what();
-            slot.outcome = RunOutcome::kException;
-        } catch (...) {
-            slot.ok = false;
-            slot.error = "unknown exception";
-            slot.outcome = RunOutcome::kException;
+        // Attempt loop: the first pass plus up to transientRetries_
+        // re-runs when the task throws. Deterministic throws fail every
+        // attempt and surface the final error; environmental failures
+        // get breathing room via exponential backoff.
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                slot.run = task(idx);
+                slot.ok = true;
+                slot.error.clear();
+                slot.outcome = slot.run.outcome;
+            } catch (const std::exception &e) {
+                slot.ok = false;
+                slot.error = e.what();
+                slot.outcome = RunOutcome::kException;
+            } catch (...) {
+                slot.ok = false;
+                slot.error = "unknown exception";
+                slot.outcome = RunOutcome::kException;
+            }
+            if (slot.ok || attempt >= transientRetries_)
+                break;
+            ++slot.retries;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<uint64_t>(retryBackoffMs_) << attempt));
         }
         auto t1 = std::chrono::steady_clock::now();
         slot.wallMs =
             std::chrono::duration<double, std::milli>(t1 - t0).count();
+        // Post-hoc wall-clock budget (see SweepOptions::runTimeoutMs):
+        // the RunResult stays valid and aggregated; the outcome tag and
+        // the failure record are what change.
+        if (slot.ok && runTimeoutMs_ > 0 && slot.wallMs > runTimeoutMs_)
+            slot.outcome = RunOutcome::kTimeout;
 
         std::lock_guard<std::mutex> lk(progressMtx);
         ++completed;
@@ -231,13 +251,18 @@ summarizeSweep(const std::vector<SweepRunResult> &results)
           case RunOutcome::kException:
             ++s.exceptionRuns;
             break;
+          case RunOutcome::kTimeout:
+            ++s.timeoutRuns;
+            break;
         }
+        s.totalRetries += r.retries;
         if (r.outcome != RunOutcome::kOk) {
             SweepFailureRecord rec;
             rec.index = r.index;
             rec.outcome = r.outcome;
             rec.error = r.error;
             rec.config = r.configDesc;
+            rec.retries = r.retries;
             s.failures.push_back(std::move(rec));
         }
         if (!r.ok) {
@@ -333,6 +358,8 @@ SweepSummary::toJson() const
        << ",\"degradedRuns\":" << degradedRuns
        << ",\"maxCyclesRuns\":" << maxCyclesRuns
        << ",\"exceptionRuns\":" << exceptionRuns
+       << ",\"timeoutRuns\":" << timeoutRuns
+       << ",\"totalRetries\":" << totalRetries
        << ",\"meanCycles\":" << meanCycles
        << ",\"stddevCycles\":" << stddevCycles
        << ",\"minCycles\":" << minCycles << ",\"maxCycles\":" << maxCycles
@@ -357,8 +384,8 @@ SweepSummary::toJson() const
         if (i)
             os << ",";
         os << "{\"index\":" << f.index << ",\"outcome\":\""
-           << runOutcomeName(f.outcome) << "\",\"error\":\""
-           << jsonEscape(f.error) << "\",\"config\":\""
+           << runOutcomeName(f.outcome) << "\",\"retries\":" << f.retries
+           << ",\"error\":\"" << jsonEscape(f.error) << "\",\"config\":\""
            << jsonEscape(f.config) << "\"}";
     }
     os << "]}";

@@ -53,6 +53,9 @@ struct SweepRunResult
     std::string error;
     /** How the run ended; kException when !ok. */
     RunOutcome outcome = RunOutcome::kOk;
+    /** Transient-failure retries this cell consumed (see
+     *  SweepOptions::transientRetries); wallMs covers every attempt. */
+    unsigned retries = 0;
     /**
      * Human-readable description of the offending RunConfig, filled by
      * run() for every cell that did not end kOk so failure reports can
@@ -86,6 +89,32 @@ struct SweepOptions
      * engine's progress mutex (safe to print from).
      */
     std::function<void(const SweepProgress &)> onProgress;
+    /**
+     * Per-run wall-clock budget in milliseconds; 0 = unlimited. A
+     * simulated machine cannot be preempted mid-cycle, so the budget is
+     * enforced post-hoc: the run finishes, and a run whose wall time
+     * exceeded the budget is reclassified RunOutcome::kTimeout and lands
+     * in SweepSummary::failures. Its RunResult is still valid and still
+     * feeds the cycle aggregates -- wall time is the one nondeterministic
+     * input to a sweep, and dropping slow runs from the aggregates would
+     * make mean/min/max depend on machine load. Leave this 0 for any
+     * sweep whose failure list feeds a determinism check.
+     */
+    double runTimeoutMs = 0;
+    /**
+     * Extra attempts for a cell whose task threw (0 = fail fast). The
+     * simulator itself is deterministic, so a retry only helps when the
+     * failure is environmental (OOM, filesystem hiccup in a task that
+     * does I/O); a deterministic throw simply fails again and the cell
+     * reports kException with the final error and the retry count.
+     */
+    unsigned transientRetries = 0;
+    /**
+     * Backoff before retry k (0-based) is retryBackoffMs << k
+     * milliseconds, so repeated environmental failures spread out
+     * instead of hammering the same contended resource.
+     */
+    unsigned retryBackoffMs = 10;
 };
 
 /**
@@ -129,6 +158,9 @@ class SweepEngine
   private:
     unsigned workers_;
     std::function<void(const SweepProgress &)> onProgress_;
+    double runTimeoutMs_;
+    unsigned transientRetries_;
+    unsigned retryBackoffMs_;
 };
 
 /**
@@ -146,6 +178,8 @@ struct SweepFailureRecord
     std::string error;
     /** describeRunConfig() of the offending cell (when available). */
     std::string config;
+    /** Transient-failure retries the cell consumed before this outcome. */
+    unsigned retries = 0;
 };
 
 struct SweepSummary
@@ -161,6 +195,10 @@ struct SweepSummary
     unsigned degradedRuns = 0;
     unsigned maxCyclesRuns = 0;
     unsigned exceptionRuns = 0;
+    /** Runs reclassified by the wall-clock budget (still aggregated). */
+    unsigned timeoutRuns = 0;
+    /** Transient-failure retries consumed across every cell. */
+    uint64_t totalRetries = 0;
     /** Every cell that did not end kOk (kCrashed cells included: crash
      *  campaigns read them; plain sweeps have none). */
     std::vector<SweepFailureRecord> failures;

@@ -25,12 +25,13 @@ MemImage::operator=(const MemImage &other)
     pages_.reserve(other.pages_.size());
     for (const auto &[num, page] : other.pages_)
         pages_.emplace(num, std::make_unique<Page>(*page));
+    poison_ = other.poison_;
     resetTranslationCache();
     return *this;
 }
 
 MemImage::MemImage(MemImage &&other) noexcept
-    : pages_(std::move(other.pages_))
+    : pages_(std::move(other.pages_)), poison_(std::move(other.poison_))
 {
     // The moved-from map no longer owns the pages the source's cache
     // points at; both caches restart cold.
@@ -44,6 +45,7 @@ MemImage::operator=(MemImage &&other) noexcept
     if (this == &other)
         return *this;
     pages_ = std::move(other.pages_);
+    poison_ = std::move(other.poison_);
     resetTranslationCache();
     other.resetTranslationCache();
     return *this;
@@ -167,6 +169,25 @@ MemImage::hash() const
     return h;
 }
 
+std::vector<uint64_t>
+MemImage::residentPageNumbers() const
+{
+    std::vector<uint64_t> nums;
+    nums.reserve(pages_.size());
+    for (const auto &[num, page] : pages_)
+        nums.push_back(num);
+    std::sort(nums.begin(), nums.end());
+    return nums;
+}
+
+std::vector<Addr>
+MemImage::poisonedLines() const
+{
+    std::vector<Addr> lines(poison_.begin(), poison_.end());
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
 void
 MemImage::readBlock(Addr blockAddr, uint8_t *out) const
 {
@@ -179,6 +200,54 @@ MemImage::writeBlock(Addr blockAddr, const uint8_t *in)
 {
     SP_ASSERT(blockOffset(blockAddr) == 0, "writeBlock needs aligned addr");
     write(blockAddr, in, kBlockBytes);
+}
+
+uint32_t
+crc32(const void *data, size_t size, uint32_t seed)
+{
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = ~seed;
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::vector<Addr>
+diffLines(const MemImage &a, const MemImage &b)
+{
+    std::vector<uint64_t> nums = a.residentPageNumbers();
+    std::vector<uint64_t> bnums = b.residentPageNumbers();
+    std::vector<uint64_t> all;
+    all.reserve(nums.size() + bnums.size());
+    std::set_union(nums.begin(), nums.end(), bnums.begin(), bnums.end(),
+                   std::back_inserter(all));
+
+    std::vector<Addr> lines;
+    std::array<uint8_t, MemImage::kPageBytes> pa, pb;
+    for (uint64_t num : all) {
+        Addr base = num * MemImage::kPageBytes;
+        a.read(base, pa.data(), MemImage::kPageBytes);
+        b.read(base, pb.data(), MemImage::kPageBytes);
+        if (std::memcmp(pa.data(), pb.data(), MemImage::kPageBytes) == 0)
+            continue;
+        for (unsigned off = 0; off < MemImage::kPageBytes;
+             off += kBlockBytes) {
+            if (std::memcmp(pa.data() + off, pb.data() + off,
+                            kBlockBytes) != 0)
+                lines.push_back(base + off);
+        }
+    }
+    return lines;
 }
 
 } // namespace sp

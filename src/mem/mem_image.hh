@@ -17,12 +17,21 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace sp
 {
+
+/**
+ * Standard CRC-32 (ISO-HDLC, reflected poly 0xEDB88320) used for log
+ * entries, data-line slots, and the media-fault detection contract.
+ * `seed` chains incremental computations (pass a previous return value).
+ */
+uint32_t crc32(const void *data, size_t size, uint32_t seed = 0);
 
 /** Sparse page-granular byte image of the simulated address space. */
 class MemImage
@@ -101,10 +110,45 @@ class MemImage
      */
     uint64_t hash() const;
 
+    /** Resident page numbers, sorted (media-fault targeting, diffing). */
+    std::vector<uint64_t> residentPageNumbers() const;
+
+    /**
+     * ECC poison, modelling detectable media faults: reads of a marked
+     * line would surface a MediaFault signal on real hardware. The
+     * poison set rides along on copies (a crash snapshot keeps its
+     * faults) but never contributes to hash(), and a full-line rewrite
+     * during recovery clears it (rewriting re-encodes the ECC word).
+     */
+    void markPoison(Addr line) { poison_.insert(blockAlign(line)); }
+
+    /** Clear poison on one line (recovery rewrote it). */
+    void clearPoison(Addr line) { poison_.erase(blockAlign(line)); }
+
+    /** Any poisoned line overlapping [addr, addr+size)? */
+    bool poisoned(Addr addr, unsigned size) const
+    {
+        if (poison_.empty())
+            return false;
+        Addr line = blockAlign(addr);
+        Addr last = blockAlign(addr + (size ? size - 1 : 0));
+        for (; line <= last; line += kBlockBytes)
+            if (poison_.count(line))
+                return true;
+        return false;
+    }
+
+    /** All poisoned lines, sorted. */
+    std::vector<Addr> poisonedLines() const;
+
+    /** Number of poisoned lines. */
+    size_t poisonCount() const { return poison_.size(); }
+
     /** Drop all contents. */
     void clear()
     {
         pages_.clear();
+        poison_.clear();
         resetTranslationCache();
     }
 
@@ -113,6 +157,9 @@ class MemImage
 
     /** Pages are heap-allocated so the map stays cheap to rehash. */
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    /** ECC-poisoned lines (block-aligned addresses). */
+    std::unordered_set<Addr> poison_;
 
     /**
      * Direct-mapped page-translation cache in front of the hash map.
@@ -142,6 +189,15 @@ class MemImage
     void readSlow(Addr addr, void *out, unsigned size) const;
     void writeSlow(Addr addr, const void *in, unsigned size);
 };
+
+/**
+ * All 64B lines whose bytes differ between two images, sorted. Sparse-
+ * aware: an absent page reads as zeros, so a page resident in only one
+ * image contributes only its non-zero lines. The backbone of the
+ * media-fault campaign's escape check (faulted-recovery image vs
+ * clean-recovery image).
+ */
+std::vector<Addr> diffLines(const MemImage &a, const MemImage &b);
 
 } // namespace sp
 

@@ -30,6 +30,20 @@ constexpr uint64_t kLogBytes = 1024 * 1024;
 constexpr Addr kHeapBase = kLogBase + kLogBytes;
 constexpr uint64_t kHeapBytes = 1ULL << 32;
 
+/**
+ * Per-line CRC slot table (checksummed image format only). Placed above
+ * the heap so arming checksums never shifts any metadata, log, or heap
+ * address -- images with checksums off stay bit-identical to the legacy
+ * layout. One 8-byte slot per covered 64B line; coverage spans the
+ * metadata region and the first kCrcHeapBytes of the heap (the log
+ * region carries its own per-entry CRCs instead, since log bytes churn
+ * without transactional cover).
+ */
+constexpr Addr kCrcBase = kHeapBase + kHeapBytes;
+constexpr uint64_t kCrcHeapBytes = 64ULL << 20;
+constexpr uint64_t kCrcSlots = (kMetaBytes + kCrcHeapBytes) / kBlockBytes;
+constexpr uint64_t kCrcBytes = kCrcSlots * 8;
+
 } // namespace sp
 
 #endif // SP_PMEM_LAYOUT_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * On-media formats shared by the checksummed WAL protocol (Tx) and the
+ * hardened recovery pass.
+ *
+ * Two image formats exist:
+ *
+ *  - legacy (format word 0): the seed layout -- header {logged_bit,
+ *    count}, entries {addr(8), len(8), data}. Recovery trusts every byte.
+ *
+ *  - checksummed (format word kLogFormatChecksummed): armed by
+ *    WorkloadParams::checksums. The header grows a CRC word covering
+ *    (logged_bit, count, format); each entry grows a CRC word packing a
+ *    descriptor CRC (over addr+len, so a corrupt length cannot derail
+ *    the entry walk silently) and a data CRC (over the logged
+ *    pre-image); and every covered data line (see kCrcBase in
+ *    layout.hh) owns an 8-byte slot holding `kCrcSlotValid | crc32` of
+ *    its current committed contents, updated inside step 3 of the
+ *    transaction so the slot and the data it covers are made durable by
+ *    the same barrier.
+ *
+ * All helpers here are pure functions of bytes so Tx (writing) and
+ * recovery (validating) cannot drift apart.
+ */
+
+#ifndef SP_PMEM_LOG_FORMAT_HH
+#define SP_PMEM_LOG_FORMAT_HH
+
+#include "mem/mem_image.hh"
+#include "pmem/layout.hh"
+#include "sim/types.hh"
+
+namespace sp
+{
+
+/** Log header word addresses (all within the header block at kLogBase). */
+constexpr Addr kLogBitAddr = kLogBase;
+constexpr Addr kLogCountAddr = kLogBase + 8;
+constexpr Addr kLogHdrCrcAddr = kLogBase + 16;
+constexpr Addr kLogFormatAddr = kLogBase + 24;
+
+/** Format-word value of the checksummed image format. */
+constexpr uint64_t kLogFormatChecksummed = 1;
+
+/** First entry byte (shared by both formats). */
+constexpr Addr kLogEntryBase = kLogBase + kBlockBytes;
+
+/** Descriptor bytes per entry: legacy {addr, len}, checksummed + CRCs. */
+constexpr unsigned kLogEntryHdrLegacy = 16;
+constexpr unsigned kLogEntryHdrChecksummed = 24;
+
+/** Valid bit of a CRC slot; low 32 bits hold the line CRC. */
+constexpr uint64_t kCrcSlotValid = 1ULL << 63;
+
+/** Is `addr` inside a region covered by the CRC slot table? */
+constexpr bool
+crcCovered(Addr addr)
+{
+    return (addr >= kMetaBase && addr < kMetaBase + kMetaBytes) ||
+           (addr >= kHeapBase && addr < kHeapBase + kCrcHeapBytes);
+}
+
+/** Slot index of a covered, block-aligned line. */
+constexpr uint64_t
+crcSlotIndex(Addr line)
+{
+    return line < kLogBase
+               ? (line - kMetaBase) / kBlockBytes
+               : kMetaBytes / kBlockBytes + (line - kHeapBase) / kBlockBytes;
+}
+
+/** Slot address of a covered, block-aligned line. */
+constexpr Addr
+crcSlotAddr(Addr line)
+{
+    return kCrcBase + crcSlotIndex(line) * 8;
+}
+
+/** Inverse of crcSlotIndex: the data line a slot index covers. */
+constexpr Addr
+crcSlotLine(uint64_t index)
+{
+    return index < kMetaBytes / kBlockBytes
+               ? kMetaBase + index * kBlockBytes
+               : kHeapBase + (index - kMetaBytes / kBlockBytes) * kBlockBytes;
+}
+
+/** CRC-32 of one 64B line's current contents in `img`. */
+inline uint32_t
+crcLine(const MemImage &img, Addr line)
+{
+    uint8_t buf[kBlockBytes];
+    img.read(line, buf, kBlockBytes);
+    return crc32(buf, kBlockBytes);
+}
+
+/** Header CRC word over (logged_bit, count, format), little-endian. */
+inline uint64_t
+logHeaderCrc(uint64_t bit, uint64_t count, uint64_t format)
+{
+    uint64_t words[3] = {bit, count, format};
+    return crc32(words, sizeof(words));
+}
+
+/** Descriptor CRC of one checksummed entry (over addr and len words). */
+inline uint32_t
+logEntryDescCrc(uint64_t addr, uint64_t len)
+{
+    uint64_t words[2] = {addr, len};
+    return crc32(words, sizeof(words));
+}
+
+/** Packed entry CRC word: descriptor CRC low, data CRC high. */
+inline uint64_t
+packEntryCrc(uint32_t descCrc, uint32_t dataCrc)
+{
+    return static_cast<uint64_t>(descCrc) |
+           (static_cast<uint64_t>(dataCrc) << 32);
+}
+
+} // namespace sp
+
+#endif // SP_PMEM_LOG_FORMAT_HH

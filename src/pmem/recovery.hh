@@ -13,6 +13,9 @@
 #ifndef SP_PMEM_RECOVERY_HH
 #define SP_PMEM_RECOVERY_HH
 
+#include <limits>
+#include <vector>
+
 #include "mem/mem_image.hh"
 
 namespace sp
@@ -46,6 +49,108 @@ RecoveryResult recoverImage(MemImage &image);
  */
 RecoveryResult recoverImageInterrupted(MemImage &image,
                                        unsigned applyAtMost);
+
+// --------------------------------------------------------------------------
+// Hardened (media-fault tolerant) recovery
+// --------------------------------------------------------------------------
+
+/** Overall classification of one hardened recovery pass. */
+enum class RecoveryVerdict : uint8_t
+{
+    /** No corruption detected anywhere. */
+    kClean,
+    /** Corruption detected; every affected line was repaired (from the
+     *  undo log or by rewriting verified-good poisoned lines). */
+    kRepaired,
+    /** Some corruption could not be repaired: the affected records were
+     *  dropped (slots invalidated) and reported. The structure itself is
+     *  still consistent minus the reported lines. */
+    kDegraded,
+    /** The undo-log entry chain broke in a live log: recovery cannot
+     *  bound the damage (an unlocatable entry's target is unknown). */
+    kUnrecoverable,
+};
+
+const char *recoveryVerdictName(RecoveryVerdict verdict);
+
+/** Knobs of the hardened recovery pass. */
+struct RecoveryOptions
+{
+    /** Expect the checksummed image format (log_format.hh). With false,
+     *  only ECC poison is detectable (no CRC validation). */
+    bool checksums = true;
+    /** Bounded repair retries per corrupt line before degrading. */
+    unsigned maxRetries = 2;
+    /** Interrupted recovery: stop after this many applied entries and
+     *  leave logged_bit set (models a crash mid-recovery). */
+    unsigned applyAtMost = std::numeric_limits<unsigned>::max();
+};
+
+/** Everything one hardened recovery pass detected, repaired, dropped. */
+struct RecoveryReport
+{
+    RecoveryVerdict verdict = RecoveryVerdict::kClean;
+    /** logged_bit was set (or pessimistically assumed set): undo ran. */
+    bool undone = false;
+    /** Valid undo entries applied. */
+    unsigned entriesApplied = 0;
+    /** Entries walked (valid or not). */
+    unsigned entriesWalked = 0;
+    /** Entries whose CRC failed: their pre-image is lost, their target
+     *  range degrades. */
+    unsigned entriesDropped = 0;
+    /** Header CRC/format mismatch or header poison: logged_bit was not
+     *  trustworthy and recovery proceeded pessimistically. */
+    bool headerSuspect = false;
+    /** The entry chain broke and resync failed (verdict unrecoverable). */
+    bool chainBroken = false;
+    /** ECC (poison) signals consumed. */
+    unsigned faultsDetected = 0;
+    /** Data-line CRC mismatches found by the verify phase. */
+    unsigned crcMismatches = 0;
+    /** Corrupt lines healed (undo replay or rewrite of verified data). */
+    unsigned linesRepaired = 0;
+    /** Repair-retry iterations consumed (bounded by maxRetries per
+     *  line; the liveness verdict checks this mechanically). */
+    unsigned retries = 0;
+    /** The pass stopped early (applyAtMost); verify did not run. */
+    bool interrupted = false;
+    /** First dead log byte: bytes of [logLiveEnd, kLogBase+kLogBytes)
+     *  are not semantically live (stale entries / never written). */
+    Addr logLiveEnd = 0;
+    /** Every line recovery flagged for any reason, sorted. */
+    std::vector<Addr> detectedLines;
+    /** Dropped records: lines left possibly corrupt with their CRC slot
+     *  invalidated, sorted (a subset of detectedLines). */
+    std::vector<Addr> degradedLines;
+};
+
+/**
+ * Detect -> repair-from-log -> bounded-retry -> degrade recovery over a
+ * raw (possibly media-faulted) durable image, in place.
+ *
+ * Unlike recoverImage(), nothing is trusted: the header is validated by
+ * CRC (a poisoned or mismatching header triggers a pessimistic
+ * CRC-validated entry walk), every entry is validated before its
+ * pre-image is applied, and after replay every valid CRC slot is
+ * checked against its data line. Corrupt lines are repaired from
+ * overlapping undo entries with bounded retries; unrepairable lines are
+ * dropped (slot invalidated) and reported. The pass never makes the
+ * image worse: data lines are only ever overwritten with CRC-validated
+ * log pre-images.
+ */
+RecoveryReport recoverImageHardened(MemImage &image,
+                                    const RecoveryOptions &opts = {});
+
+/**
+ * Hardened recovery interrupted by a second crash: apply at most
+ * `applyAtMost` entries, never clear logged_bit, skip the verify phase.
+ * A subsequent full recoverImageHardened() must converge to the same
+ * image as an uninterrupted pass (entries are idempotent).
+ */
+RecoveryReport recoverImageHardenedInterrupted(MemImage &image,
+                                               unsigned applyAtMost,
+                                               RecoveryOptions opts = {});
 
 } // namespace sp
 

@@ -17,10 +17,21 @@
  *   header block: +0 logged_bit (8B), +8 entry count (8B)
  *   entries, packed sequentially from kLogBase+64: {addr(8), len(8),
  *   data[len] (8B-aligned)}.
+ *
+ * With checksums armed (setChecksums), the image switches to the
+ * checksummed format of log_format.hh: the header gains a CRC word, each
+ * entry gains a descriptor+data CRC word, and step 3 additionally
+ * persists refreshed CRC slots for every covered line the transaction
+ * logged or tracked -- so recovery can detect media corruption instead
+ * of trusting the image. With checksums off (the default) the emitted op
+ * stream is bit-identical to the legacy protocol.
  */
 
 #ifndef SP_PMEM_TX_HH
 #define SP_PMEM_TX_HH
+
+#include <utility>
+#include <vector>
 
 #include "pmem/layout.hh"
 #include "pmem/op_emitter.hh"
@@ -38,10 +49,28 @@ class Tx
     void begin();
 
     /**
+     * Arm the checksummed image format (per-entry CRCs, header CRC,
+     * data-line CRC slots). Must be set before the first transaction and
+     * never changed: the two formats are not mixable within one image.
+     */
+    void setChecksums(bool on) { checks_ = on; }
+
+    bool checksums() const { return checks_; }
+
+    /**
      * Undo-log `len` bytes at `addr` (copies the *current* contents into
      * the log and clwbs the written log blocks).
      */
     void logRange(Addr addr, unsigned len);
+
+    /**
+     * Checksums only: register a freshly allocated range whose contents
+     * need no undo cover (pre-state is garbage) but whose CRC slots must
+     * still be logged (so a rollback reverts them) and refreshed at
+     * commit (so recovery can verify the new record). No-op with
+     * checksums off, keeping legacy op streams untouched.
+     */
+    void trackRange(Addr addr, unsigned len);
 
     /**
      * Step 1 + 2: persist the log (count + barrier), then set logged_bit
@@ -62,8 +91,15 @@ class Tx
     OpEmitter &em_;
     unsigned count_ = 0;
     Addr cursor_ = kLogBase + kBlockBytes;
+    bool checks_ = false;
+    /** Covered ranges whose CRC slots step 3 must refresh. */
+    std::vector<std::pair<Addr, unsigned>> tracked_;
 
     bool active() const { return em_.mode() >= PersistMode::kLog; }
+
+    void appendEntry(Addr addr, unsigned len);
+    void logSlotRange(Addr addr, unsigned len);
+    void storeHeaderCrc(uint64_t bit);
 };
 
 } // namespace sp

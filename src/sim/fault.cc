@@ -3,12 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mem/mem_image.hh"
+#include "pmem/layout.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
 namespace sp
 {
+
+namespace
+{
+
+/** Stateless splitmix64 step (same mixer the conflict adversary uses). */
+uint64_t
+mix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
 
 const char *
 conflictPolicyName(ConflictPolicy policy)
@@ -41,6 +58,140 @@ parseConflictPolicy(const std::string &name)
         return ConflictPolicy::kTrailWriter;
     SP_FATAL("unknown conflict policy '", name,
              "' (expected uniform|hotset|trail)");
+}
+
+// --------------------------------------------------------------------------
+// Media faults
+// --------------------------------------------------------------------------
+
+const char *
+mediaFaultKindName(MediaFaultKind kind)
+{
+    switch (kind) {
+      case MediaFaultKind::kBitFlip:
+        return "bitflip";
+      case MediaFaultKind::kMultiBitFlip:
+        return "multibit";
+      case MediaFaultKind::kStuckWord:
+        return "stuck";
+      case MediaFaultKind::kTornResidue:
+        return "residue";
+    }
+    return "?";
+}
+
+const char *
+mediaFaultClassName(MediaFaultClass cls)
+{
+    return cls == MediaFaultClass::kEccDetectable ? "ecc" : "silent";
+}
+
+unsigned
+MediaFaultPlan::scrubbed() const
+{
+    unsigned n = 0;
+    for (const MediaFault &f : faults)
+        n += f.scrubbed ? 1 : 0;
+    return n;
+}
+
+unsigned
+MediaFaultPlan::applied() const
+{
+    return static_cast<unsigned>(faults.size()) - scrubbed();
+}
+
+MediaFaultPlan
+planMediaFaults(const MediaFaultConfig &cfg, const MemImage &durable,
+                Tick crashTick)
+{
+    MediaFaultPlan plan;
+    if (!cfg.enabled || cfg.faults == 0)
+        return plan;
+
+    // Candidate lines: every line of a resident page inside the fault
+    // target window (metadata + log + covered heap). Zero lines of
+    // resident pages are legitimate targets -- worn cells do not care
+    // what the line holds. The CRC slot table is out of scope here.
+    constexpr Addr kTargetEnd = kHeapBase + kCrcHeapBytes;
+    std::vector<Addr> pages;
+    for (uint64_t num : durable.residentPageNumbers()) {
+        Addr base = num * MemImage::kPageBytes;
+        if (base + MemImage::kPageBytes > kNvmmBase && base < kTargetEnd)
+            pages.push_back(base);
+    }
+    if (pages.empty())
+        return plan;
+    constexpr unsigned kLinesPerPage = MemImage::kPageBytes / kBlockBytes;
+    uint64_t lineCount = pages.size() * uint64_t{kLinesPerPage};
+
+    uint64_t state = cfg.seed ^ (0x6d65646961ULL * (crashTick + 1));
+    for (unsigned i = 0; i < cfg.faults; ++i) {
+        MediaFault f;
+        uint64_t pick = mix64(state) % lineCount;
+        f.line = pages[pick / kLinesPerPage] +
+                 (pick % kLinesPerPage) * kBlockBytes;
+        f.kind = static_cast<MediaFaultKind>(mix64(state) % 4);
+        double u = static_cast<double>(mix64(state) >> 11) /
+                   9007199254740992.0;
+        f.cls = u < cfg.silentFraction ? MediaFaultClass::kSilent
+                                       : MediaFaultClass::kEccDetectable;
+        f.payload = mix64(state);
+        f.arrivalTick = crashTick > 0 ? mix64(state) % crashTick : 0;
+        // Scrub clock: the last scrubber pass before the crash corrects
+        // every ECC-detectable fault that had already arrived. Silent
+        // faults are invisible to the scrubber by definition.
+        if (cfg.scrubInterval > 0 &&
+            f.cls == MediaFaultClass::kEccDetectable) {
+            Tick lastScrub = crashTick / cfg.scrubInterval *
+                             cfg.scrubInterval;
+            if (lastScrub > f.arrivalTick)
+                f.scrubbed = true;
+        }
+        plan.faults.push_back(f);
+    }
+    return plan;
+}
+
+void
+applyMediaFaults(MemImage &image, const MediaFaultPlan &plan)
+{
+    for (const MediaFault &f : plan.faults) {
+        if (f.scrubbed)
+            continue;
+        uint8_t buf[kBlockBytes];
+        image.read(f.line, buf, kBlockBytes);
+        uint64_t material = f.payload;
+        switch (f.kind) {
+          case MediaFaultKind::kBitFlip: {
+            unsigned bit = material % (kBlockBytes * 8);
+            buf[bit / 8] ^= uint8_t(1u << (bit % 8));
+            break;
+          }
+          case MediaFaultKind::kMultiBitFlip:
+            for (unsigned k = 0; k < 3; ++k) {
+                unsigned bit = material % (kBlockBytes * 8);
+                buf[bit / 8] ^= uint8_t(1u << (bit % 8));
+                material = material * 0x9e3779b97f4a7c15ULL + k + 1;
+            }
+            break;
+          case MediaFaultKind::kStuckWord: {
+            unsigned word = material % (kBlockBytes / 8);
+            uint64_t stuck = (material >> 8) & 1 ? ~uint64_t{0} : 0;
+            std::memcpy(buf + word * 8, &stuck, 8);
+            break;
+          }
+          case MediaFaultKind::kTornResidue: {
+            unsigned word = material % (kBlockBytes / 8);
+            uint64_t residue = material * 0xbf58476d1ce4e5b9ULL;
+            std::memcpy(buf + word * 8, &residue, 8);
+            break;
+          }
+        }
+        image.write(f.line, buf, kBlockBytes);
+        if (f.cls == MediaFaultClass::kEccDetectable)
+            image.markPoison(f.line);
+    }
 }
 
 // --------------------------------------------------------------------------

@@ -40,12 +40,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
 namespace sp
 {
 
+class MemImage;
 class Stats;
 class Tracer;
 
@@ -119,6 +121,99 @@ struct CrashInjectConfig
     uint64_t seed = 1;
 };
 
+/** What a media fault does to its target line. */
+enum class MediaFaultKind : uint8_t
+{
+    /** One bit of the line flips (classic retention loss). */
+    kBitFlip,
+    /** Three spread bits flip (beyond single-bit ECC correction). */
+    kMultiBitFlip,
+    /** One 8-byte word sticks at all-zeros or all-ones (worn cells). */
+    kStuckWord,
+    /** One 8-byte word holds pseudo-random residue of an older write
+     *  (a torn word that never completed re-programming). */
+    kTornResidue,
+};
+
+/** How the fault surfaces to software. */
+enum class MediaFaultClass : uint8_t
+{
+    /** The device ECC word no longer matches: reads of the line raise a
+     *  MediaFault signal (modelled as image poison). */
+    kEccDetectable,
+    /** The corruption slips past device ECC; only software checksums or
+     *  semantic checks can catch it. */
+    kSilent,
+};
+
+const char *mediaFaultKindName(MediaFaultKind kind);
+const char *mediaFaultClassName(MediaFaultClass cls);
+
+/** NVMM media-fault injection parameters (applied at crash time). */
+struct MediaFaultConfig
+{
+    bool enabled = false;
+    /** Fault draws per crash image. */
+    unsigned faults = 4;
+    /** Probability a draw is kSilent (0 = all ECC-detectable, 1 = all
+     *  silent). */
+    double silentFraction = 0.5;
+    /**
+     * Optional background scrubber period in cycles (0 = off). A fault
+     * whose arrival tick precedes the last scrub boundary before the
+     * crash is corrected by the scrubber -- if it is ECC-detectable.
+     * Silent faults always survive scrubbing.
+     */
+    Tick scrubInterval = 0;
+    /** Fault-schedule seed; the plan is a pure function of (seed,
+     *  resident footprint, crash tick). */
+    uint64_t seed = 1;
+};
+
+/** One planned media fault. */
+struct MediaFault
+{
+    /** Target 64B line (block-aligned). */
+    Addr line = 0;
+    MediaFaultKind kind = MediaFaultKind::kBitFlip;
+    MediaFaultClass cls = MediaFaultClass::kEccDetectable;
+    /** Cycle the cell degraded (relative to the run; < crash tick). */
+    Tick arrivalTick = 0;
+    /** RNG material selecting bits / words / patterns inside the line. */
+    uint64_t payload = 0;
+    /** Corrected by the scrub clock before the crash; not applied. */
+    bool scrubbed = false;
+};
+
+/** Deterministic media-fault schedule for one crash image. */
+struct MediaFaultPlan
+{
+    std::vector<MediaFault> faults;
+
+    /** Draws the scrubber corrected before the crash. */
+    unsigned scrubbed() const;
+
+    /** Draws actually applied to the image. */
+    unsigned applied() const;
+};
+
+/**
+ * Plan the media faults for one crash snapshot. Pure function of the
+ * config, the image's resident footprint, and the crash tick, so every
+ * sweep worker (and every re-run) produces the identical plan. Targets
+ * are drawn from resident lines of the metadata, log, and covered-heap
+ * regions; the CRC slot table itself is exempt (slot corruption is
+ * exercised by dedicated unit tests, keeping campaign verdicts sharp).
+ */
+MediaFaultPlan planMediaFaults(const MediaFaultConfig &cfg,
+                               const MemImage &durable, Tick crashTick);
+
+/**
+ * Mutate `image` per the plan: flip/stick/shred the planned bytes and
+ * mark ECC-detectable targets as poisoned. Scrubbed faults are skipped.
+ */
+void applyMediaFaults(MemImage &image, const MediaFaultPlan &plan);
+
 /** Forward-progress watchdog parameters. */
 struct WatchdogConfig
 {
@@ -141,6 +236,7 @@ struct FaultConfig
     ConflictInjectConfig conflict;
     CrashInjectConfig crash;
     WatchdogConfig watchdog;
+    MediaFaultConfig media;
 };
 
 /**

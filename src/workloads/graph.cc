@@ -71,6 +71,8 @@ GraphWorkload::insertEdge(Addr vertex, uint64_t dst)
     tx_.begin();
     tx_.logRange(vertex, kBlockBytes);
     tx_.logRange(kMeta, 24);
+    // The fresh edge needs no undo cover, but its CRC slot does.
+    tx_.trackRange(edge, kBlockBytes);
     logGeneration();
     tx_.seal();
 

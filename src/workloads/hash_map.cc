@@ -206,6 +206,10 @@ HashMapWorkload::resize()
 
     tx_.begin();
     tx_.logRange(kMeta, 32);
+    // The new table was built outside the transaction in fresh memory;
+    // its CRC slots are refreshed with the metadata swing.
+    tx_.trackRange(new_table,
+                   static_cast<unsigned>(new_cap * kBlockBytes));
     tx_.seal();
     em_.store(kMeta + 0, new_table, 8);
     em_.store(kMeta + 8, new_cap, 8);

@@ -71,6 +71,8 @@ LinkedListWorkload::insert(uint64_t key, Addr prev, Addr cur,
     tx_.logRange(kMeta, 16);
     if (prev != 0)
         tx_.logRange(prev, kBlockBytes);
+    // The fresh node needs no undo cover, but its CRC slot does.
+    tx_.trackRange(node, kBlockBytes);
     logGeneration();
     tx_.seal();
 

@@ -60,6 +60,9 @@ TreeWorkload::runTx(const std::function<void()> &body)
     tx_.begin();
     for (Addr blk : log_set)
         tx_.logRange(blk, kBlockBytes);
+    // Fresh nodes need no undo cover, but their CRC slots do.
+    for (Addr blk : fresh)
+        tx_.trackRange(blk, kBlockBytes);
     logGeneration();
     tx_.seal();
 

@@ -1,5 +1,6 @@
 #include "workloads/workload.hh"
 
+#include "pmem/log_format.hh"
 #include "sim/logging.hh"
 
 namespace sp
@@ -13,6 +14,7 @@ Workload::Workload(const WorkloadParams &params)
     em_.setGenerator([this] { return generateNext(); });
     em_.setEvictOnPersist(params.evictOnPersist);
     em_.setMutation(params.mutation);
+    tx_.setChecksums(params.checksums);
 }
 
 void
@@ -24,7 +26,36 @@ Workload::setup()
     created_ = true;
     for (uint64_t i = 0; i < params_.initOps; ++i)
         doOperation();
+    if (params_.checksums)
+        seedChecksums();
     em_.setMuted(false);
+}
+
+void
+Workload::seedChecksums()
+{
+    // Format the image as checksummed: stamp the format word, the header
+    // CRC over the current header state, and a valid CRC slot for every
+    // resident covered line. This models mkfs-style formatting: it is
+    // part of the initial durable state (setup precedes the measured
+    // phase and the initial durable snapshot), not of the op stream.
+    MemImage &img = em_.image();
+    img.writeInt(kLogFormatAddr, kLogFormatChecksummed, 8);
+    img.writeInt(kLogHdrCrcAddr,
+                 logHeaderCrc(img.readInt(kLogBitAddr, 8),
+                              img.readInt(kLogCountAddr, 8),
+                              kLogFormatChecksummed),
+                 8);
+    for (uint64_t num : img.residentPageNumbers()) {
+        Addr base = num * MemImage::kPageBytes;
+        for (Addr line = base; line < base + MemImage::kPageBytes;
+             line += kBlockBytes) {
+            if (!crcCovered(line))
+                continue;
+            img.writeInt(crcSlotAddr(line),
+                         kCrcSlotValid | crcLine(img, line), 8);
+        }
+    }
 }
 
 bool

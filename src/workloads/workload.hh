@@ -67,6 +67,14 @@ struct WorkloadParams
     /** Use clflushopt (write back + evict) instead of clwb. */
     bool evictOnPersist = false;
     /**
+     * Arm the checksummed image format (log_format.hh): per-entry and
+     * header CRCs on the undo log plus per-line CRC slots on covered
+     * data, maintained inside the transaction protocol so hardened
+     * recovery can detect media corruption. Off (the default) emits the
+     * exact legacy op stream -- bit-identical to seed fingerprints.
+     */
+    bool checksums = false;
+    /**
      * Single-site barrier mutation (audit validation harness); inactive
      * by default. Never changes functional state -- see BarrierMutation.
      */
@@ -176,6 +184,7 @@ class Workload
     uint64_t stopAtGen_ = 0;
 
     bool generateNext();
+    void seedChecksums();
 };
 
 /** Address of the durable generation counter. */

@@ -10,9 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "harness/sweep.hh"
 
@@ -211,4 +213,88 @@ TEST(SweepEngine, EmptySummary)
     EXPECT_EQ(s.minCycles, 0u);
     EXPECT_EQ(s.maxCycles, 0u);
     EXPECT_NE(s.toJson().find("\"runs\":0"), std::string::npos);
+}
+
+TEST(SweepEngine, TransientFailureRetriedWithBackoff)
+{
+    std::atomic<unsigned> attempts{0};
+    SweepOptions opts;
+    opts.workers = 2;
+    opts.transientRetries = 2;
+    opts.retryBackoffMs = 1;
+    std::vector<SweepRunResult> results =
+        SweepEngine(opts).runTasks(3, [&](size_t i) {
+            if (i == 1 && attempts.fetch_add(1) == 0)
+                throw std::runtime_error("transient hiccup");
+            return indexedResult(i);
+        });
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[1].ok);
+    EXPECT_EQ(results[1].retries, 1u);
+    EXPECT_TRUE(results[1].error.empty());
+    EXPECT_EQ(results[1].run.stats.cycles, 1001u);
+    EXPECT_EQ(results[0].retries, 0u);
+    EXPECT_EQ(results[2].retries, 0u);
+
+    SweepSummary s = summarizeSweep(results);
+    EXPECT_EQ(s.runs, 3u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.exceptionRuns, 0u);
+    EXPECT_EQ(s.totalRetries, 1u);
+    EXPECT_NE(s.toJson().find("\"totalRetries\":1"), std::string::npos);
+}
+
+TEST(SweepEngine, DeterministicFailureExhaustsRetries)
+{
+    SweepOptions opts;
+    opts.workers = 1;
+    opts.transientRetries = 2;
+    opts.retryBackoffMs = 1;
+    std::vector<SweepRunResult> results =
+        SweepEngine(opts).runTasks(2, [](size_t i) -> RunResult {
+            if (i == 0)
+                throw std::runtime_error("always broken");
+            return indexedResult(i);
+        });
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].outcome, RunOutcome::kException);
+    EXPECT_EQ(results[0].retries, 2u);
+    EXPECT_EQ(results[0].error, "always broken");
+    EXPECT_TRUE(results[1].ok);
+
+    SweepSummary s = summarizeSweep(results);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.totalRetries, 2u);
+    ASSERT_EQ(s.failures.size(), 1u);
+    EXPECT_EQ(s.failures[0].retries, 2u);
+    EXPECT_NE(s.toJson().find("\"retries\":2"), std::string::npos);
+}
+
+TEST(SweepEngine, WallClockBudgetReclassifiesSlowRuns)
+{
+    SweepOptions opts;
+    opts.workers = 2;
+    opts.runTimeoutMs = 5;
+    std::vector<SweepRunResult> results =
+        SweepEngine(opts).runTasks(3, [](size_t i) {
+            if (i == 2)
+                std::this_thread::sleep_for(std::chrono::milliseconds(25));
+            return indexedResult(i);
+        });
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].outcome, RunOutcome::kOk);
+    EXPECT_EQ(results[1].outcome, RunOutcome::kOk);
+    EXPECT_EQ(results[2].outcome, RunOutcome::kTimeout);
+    // The run itself is valid: the budget reclassifies, never discards.
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_EQ(results[2].run.stats.cycles, 1002u);
+    EXPECT_STREQ(runOutcomeName(results[2].outcome), "timeout");
+
+    SweepSummary s = summarizeSweep(results);
+    EXPECT_EQ(s.runs, 3u); // timeouts still feed the cycle aggregates
+    EXPECT_EQ(s.timeoutRuns, 1u);
+    ASSERT_EQ(s.failures.size(), 1u);
+    EXPECT_EQ(s.failures[0].outcome, RunOutcome::kTimeout);
+    EXPECT_NE(s.toJson().find("\"timeoutRuns\":1"), std::string::npos);
 }
