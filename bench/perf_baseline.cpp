@@ -36,7 +36,10 @@
  *   bench_perf_baseline --check F  compare cycles/sec per suite against
  *                                  the `suites` object in JSON file F;
  *                                  exit 1 on >25% regression (override
- *                                  with SP_BENCH_TOLERANCE, a fraction)
+ *                                  with SP_BENCH_TOLERANCE, a fraction).
+ *                                  Suites with an `allocations` entry are
+ *                                  also gated on allocation count (10%
+ *                                  headroom; SP_BENCH_ALLOC_TOLERANCE)
  *   bench_perf_baseline --out F    write the JSON report to F instead of
  *                                  ./BENCH_perf.json (empty = no file)
  *
@@ -115,6 +118,12 @@ struct SuiteResult
     unsigned runs = 0;
     uint64_t simCycles = 0;
     uint64_t allocations = 0;
+    /** Allocations during the first run of the grid: machine
+     *  construction plus every pool growing to its working size. */
+    uint64_t warmupAllocations = 0;
+    /** Page-translation-cache counters summed over both images. */
+    uint64_t transHits = 0;
+    uint64_t transMisses = 0;
     double wallSeconds = 0;
 
     double cyclesPerSec() const
@@ -122,6 +131,12 @@ struct SuiteResult
         return wallSeconds > 0 ? static_cast<double>(simCycles) /
                 wallSeconds
                                : 0;
+    }
+
+    /** Allocations after the first run (the steady-state tail). */
+    uint64_t steadyAllocations() const
+    {
+        return allocations - warmupAllocations;
     }
 };
 
@@ -134,15 +149,27 @@ runSuite(const std::string &name, const std::vector<RunConfig> &grid)
     result.runs = static_cast<unsigned>(grid.size());
     uint64_t allocs0 = g_allocations.load(std::memory_order_relaxed);
     auto t0 = std::chrono::steady_clock::now();
+    bool first = true;
     for (const RunConfig &cfg : grid) {
         RunResult run = runExperiment(cfg);
         result.simCycles += run.stats.cycles;
+        result.transHits +=
+            run.perf.volatileTransHits + run.perf.durableTransHits;
+        result.transMisses +=
+            run.perf.volatileTransMisses + run.perf.durableTransMisses;
+        if (first) {
+            result.warmupAllocations =
+                g_allocations.load(std::memory_order_relaxed) - allocs0;
+            first = false;
+        }
     }
     auto t1 = std::chrono::steady_clock::now();
     result.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     result.allocations =
         g_allocations.load(std::memory_order_relaxed) - allocs0;
+    if (result.runs <= 1)
+        result.warmupAllocations = result.allocations;
     return result;
 }
 
@@ -223,37 +250,54 @@ runSmokeBestOf(unsigned reps, const std::string &name,
 std::string
 suiteJson(const SuiteResult &s)
 {
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "{\"runs\":%u,\"simCycles\":%llu,\"wallSeconds\":%.3f,"
-                  "\"cyclesPerSec\":%.0f,\"allocations\":%llu}",
+                  "\"cyclesPerSec\":%.0f,\"allocations\":%llu,"
+                  "\"warmupAllocations\":%llu,\"steadyAllocations\":%llu,"
+                  "\"transHits\":%llu,\"transMisses\":%llu}",
                   s.runs, static_cast<unsigned long long>(s.simCycles),
                   s.wallSeconds, s.cyclesPerSec(),
-                  static_cast<unsigned long long>(s.allocations));
+                  static_cast<unsigned long long>(s.allocations),
+                  static_cast<unsigned long long>(s.warmupAllocations),
+                  static_cast<unsigned long long>(s.steadyAllocations()),
+                  static_cast<unsigned long long>(s.transHits),
+                  static_cast<unsigned long long>(s.transMisses));
     return buf;
 }
 
 void
 printSuite(const SuiteResult &s)
 {
+    uint64_t trans = s.transHits + s.transMisses;
+    double hitRate = trans
+        ? 100.0 * static_cast<double>(s.transHits) /
+            static_cast<double>(trans)
+        : 0.0;
     std::printf("%-15s %3u runs  %12llu cycles  %8.3f s  %12.0f cyc/s"
-                "  %10llu allocs\n",
+                "  %10llu allocs (%llu warm-up + %llu steady)"
+                "  ptc %.2f%%\n",
                 s.name.c_str(), s.runs,
                 static_cast<unsigned long long>(s.simCycles),
                 s.wallSeconds, s.cyclesPerSec(),
-                static_cast<unsigned long long>(s.allocations));
+                static_cast<unsigned long long>(s.allocations),
+                static_cast<unsigned long long>(s.warmupAllocations),
+                static_cast<unsigned long long>(s.steadyAllocations()),
+                hitRate);
 }
 
 /**
- * Pull `"<suite>": { ... "cyclesPerSec": N ... }` out of a JSON report.
+ * Pull `"<suite>": { ... "<key>": N ... }` out of a JSON report.
  * A full parser is overkill for a file this tool writes itself; the
  * extraction is keyed on the suite name inside the "suites" object.
+ * The field search stays within the suite's braces so a key missing
+ * from one suite cannot match the next suite's entry.
  *
  * @retval false the suite or field was not found.
  */
 bool
-extractCyclesPerSec(const std::string &json, const std::string &suite,
-                    double *out)
+extractSuiteField(const std::string &json, const std::string &suite,
+                  const std::string &field, double *out)
 {
     size_t suites = json.find("\"suites\"");
     if (suites == std::string::npos)
@@ -261,8 +305,9 @@ extractCyclesPerSec(const std::string &json, const std::string &suite,
     size_t at = json.find("\"" + suite + "\"", suites);
     if (at == std::string::npos)
         return false;
-    size_t key = json.find("\"cyclesPerSec\"", at);
-    if (key == std::string::npos)
+    size_t end = json.find('}', at);
+    size_t key = json.find("\"" + field + "\"", at);
+    if (key == std::string::npos || (end != std::string::npos && key > end))
         return false;
     size_t colon = json.find(':', key);
     if (colon == std::string::npos)
@@ -290,6 +335,16 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
         if (v > 0)
             tolerance = v;
     }
+    // Allocation counts are deterministic (single-threaded simulator,
+    // counted in-process), so the budget is much tighter than the
+    // wall-clock envelope. The headroom only absorbs allocator-library
+    // differences across toolchains.
+    double allocTolerance = 0.10;
+    if (const char *env = std::getenv("SP_BENCH_ALLOC_TOLERANCE")) {
+        double v = std::strtod(env, nullptr);
+        if (v > 0)
+            allocTolerance = v;
+    }
 
     int failures = 0;
     const SuiteResult *smoke = nullptr;
@@ -302,7 +357,7 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
     }
     for (const SuiteResult &s : measured) {
         double baseline = 0;
-        if (!extractCyclesPerSec(json, s.name, &baseline)) {
+        if (!extractSuiteField(json, s.name, "cyclesPerSec", &baseline)) {
             std::printf("check %-15s no baseline entry, skipped\n",
                         s.name.c_str());
             continue;
@@ -315,6 +370,26 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
                     (ratio - 1.0) * 100.0, ok ? "ok" : "REGRESSION");
         if (!ok)
             ++failures;
+        // Allocation gate: the suite must not allocate more than the
+        // baseline recorded (plus headroom). This is what keeps the
+        // allocation-free steady state from silently eroding -- a new
+        // per-op container shows up here long before it costs enough
+        // wall time to trip the throughput envelope.
+        double allocBase = 0;
+        if (extractSuiteField(json, s.name, "allocations", &allocBase)) {
+            double measuredAllocs = static_cast<double>(s.allocations);
+            bool allocOk =
+                measuredAllocs <= allocBase * (1.0 + allocTolerance);
+            std::printf("check %-15s %12llu allocs vs budget %12.0f"
+                        "  (%+5.1f%%)  %s\n",
+                        s.name.c_str(),
+                        static_cast<unsigned long long>(s.allocations),
+                        allocBase,
+                        (measuredAllocs / allocBase - 1.0) * 100.0,
+                        allocOk ? "ok" : "ALLOCATION REGRESSION");
+            if (!allocOk)
+                ++failures;
+        }
     }
 
     // Observer cells (audit, cycle accounting) are gated relative to the

@@ -568,6 +568,8 @@ main(int argc, char **argv)
     if (account) {
         std::cout << "cycle account:\n";
         r.account.print(std::cout, "  ");
+        std::cout << "perf telemetry (pools / translation caches):\n";
+        r.perf.print(std::cout, "  ");
         std::string doc = r.account.toJson();
         std::string err;
         if (!jsonIsValid(doc, &err)) {

@@ -128,6 +128,101 @@ class AddrSet
 };
 
 /**
+ * Open-addressing map from address to a 32-bit index with O(1)
+ * generation clear. Same table discipline as AddrSet (pow-2 slots,
+ * linear probing, no erase); used where a structure needs to attach a
+ * payload slot to each address it has seen within one episode, e.g. the
+ * OpEmitter shadow overlay mapping block address -> pooled block index.
+ */
+class AddrIndexMap
+{
+  public:
+    static constexpr uint32_t kNotFound = 0xffffffffu;
+
+    explicit AddrIndexMap(size_t initialSlots = 64)
+    {
+        size_t cap = 16;
+        while (cap < initialSlots)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    /** Value stored for `key`, or kNotFound. */
+    uint32_t find(Addr key) const
+    {
+        size_t mask = slots_.size() - 1;
+        for (size_t i = addrHashMix(key) & mask;; i = (i + 1) & mask) {
+            const Slot &slot = slots_[i];
+            if (slot.gen != gen_)
+                return kNotFound;
+            if (slot.key == key)
+                return slot.val;
+        }
+    }
+
+    /** Insert `key` -> `val`; `key` must not already be present. */
+    void insert(Addr key, uint32_t val)
+    {
+        if ((count_ + 1) * 10 >= slots_.size() * 7)
+            grow();
+        size_t mask = slots_.size() - 1;
+        for (size_t i = addrHashMix(key) & mask;; i = (i + 1) & mask) {
+            Slot &slot = slots_[i];
+            if (slot.gen != gen_) {
+                slot.key = key;
+                slot.val = val;
+                slot.gen = gen_;
+                ++count_;
+                return;
+            }
+        }
+    }
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    void clear()
+    {
+        count_ = 0;
+        if (++gen_ == 0) {
+            for (Slot &slot : slots_)
+                slot.gen = 0;
+            gen_ = 1;
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Addr key = 0;
+        uint32_t val = 0;
+        uint32_t gen = 0;
+    };
+
+    std::vector<Slot> slots_;
+    uint32_t gen_ = 1;
+    size_t count_ = 0;
+
+    void grow()
+    {
+        std::vector<Slot> bigger(slots_.size() * 2);
+        size_t mask = bigger.size() - 1;
+        for (const Slot &slot : slots_) {
+            if (slot.gen != gen_)
+                continue;
+            for (size_t i = addrHashMix(slot.key) & mask;;
+                 i = (i + 1) & mask) {
+                if (bigger[i].gen != gen_) {
+                    bigger[i] = slot;
+                    break;
+                }
+            }
+        }
+        slots_.swap(bigger);
+    }
+};
+
+/**
  * Per-byte coverage counts over 8-byte words: how many live SSB stores
  * cover each byte of each word. Existence of an overlapping store --
  * everything store-to-load forwarding needs -- is then two word lookups

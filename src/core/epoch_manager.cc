@@ -41,23 +41,12 @@ EpochManager::drainAllowed(const SsbEntry &entry) const
     return true;
 }
 
-std::vector<uint64_t>
-EpochManager::takePooledFlushes()
-{
-    if (flushPool_.empty())
-        return {};
-    std::vector<uint64_t> v = std::move(flushPool_.back());
-    flushPool_.pop_back();
-    return v;
-}
-
 void
 EpochManager::recycleFlushes(Epoch &epoch)
 {
-    if (epoch.flushes.capacity() == 0 || flushPool_.size() >= 8)
+    if (epoch.flushes.capacity() == 0)
         return;
-    epoch.flushes.clear();
-    flushPool_.push_back(std::move(epoch.flushes));
+    flushPool_.give(std::move(epoch.flushes));
 }
 
 uint64_t
@@ -79,7 +68,7 @@ EpochManager::epochById(uint64_t id)
 
 bool
 EpochManager::beginSpeculation(uint64_t cursor,
-                               std::vector<uint64_t> gateFlushes,
+                               const std::vector<uint64_t> &gateFlushes,
                                Tick now)
 {
     SP_ASSERT(epochs_.empty(), "beginSpeculation while already speculating");
@@ -89,7 +78,8 @@ EpochManager::beginSpeculation(uint64_t cursor,
     Epoch epoch;
     epoch.id = nextEpochId_++;
     epoch.checkpointIdx = idx;
-    epoch.flushes = std::move(gateFlushes);
+    epoch.flushes = flushPool_.take();
+    epoch.flushes.assign(gateFlushes.begin(), gateFlushes.end());
     epoch.isFirst = true;
     if (tracer_ && tracer_->enabled(kTraceEpoch)) {
         tracer_->instant(kTraceEpoch, "checkpoint_take", now,
@@ -116,7 +106,7 @@ EpochManager::startChild(uint64_t cursor, Tick now)
     Epoch epoch;
     epoch.id = nextEpochId_++;
     epoch.checkpointIdx = idx;
-    epoch.flushes = takePooledFlushes();
+    epoch.flushes = flushPool_.take();
     epoch.isFirst = false;
     if (tracer_ && tracer_->enabled(kTraceEpoch)) {
         tracer_->instant(kTraceEpoch, "checkpoint_take", now,
@@ -293,6 +283,13 @@ EpochManager::abortAll(Tick now)
     checkpoints_.reset();
     drainBusyUntil_ = 0;
     strictWaitFlush_ = 0;
+}
+
+void
+EpochManager::collectPoolStats(std::vector<PoolStat> &out) const
+{
+    out.push_back(epochs_.stat("epochs.queue"));
+    out.push_back(flushPool_.stat("epochs.flushPool"));
 }
 
 } // namespace sp

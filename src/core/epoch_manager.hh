@@ -27,13 +27,13 @@
 #define SP_CORE_EPOCH_MANAGER_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "core/checkpoint.hh"
 #include "core/ssb.hh"
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -78,7 +78,7 @@ class EpochManager
      * @retval false No checkpoint was free; the trigger must retry.
      */
     bool beginSpeculation(uint64_t cursor,
-                          std::vector<uint64_t> gateFlushes,
+                          const std::vector<uint64_t> &gateFlushes,
                           Tick now = 0);
 
     /** Can a child epoch be created right now? */
@@ -141,6 +141,9 @@ class EpochManager
      *  @param now Current cycle (trace timestamps only). */
     void abortAll(Tick now = 0);
 
+    /** Append epoch-queue and flush-pool capacity/high-water stats. */
+    void collectPoolStats(std::vector<PoolStat> &out) const;
+
   private:
     struct Epoch
     {
@@ -159,13 +162,13 @@ class EpochManager
     MemSystem &mc_;
     Stats &stats_;
 
-    std::deque<Epoch> epochs_;
+    RingDeque<Epoch> epochs_;
     /**
      * Recycled flush-id vectors: a sweep retires millions of epochs and
      * each used to heap-allocate its flushes vector; the pool reuses the
      * committed epochs' buffers instead.
      */
-    std::vector<std::vector<uint64_t>> flushPool_;
+    VecPool<uint64_t> flushPool_;
     Tracer *tracer_ = nullptr;
     uint64_t nextEpochId_ = 1;
     bool preSpecDrained_ = false;
@@ -180,7 +183,6 @@ class EpochManager
     bool canRetire(const Epoch &epoch) const;
     bool drainAllowed(const SsbEntry &entry) const;
     bool drainOne(Tick now);
-    std::vector<uint64_t> takePooledFlushes();
     void recycleFlushes(Epoch &epoch);
 };
 

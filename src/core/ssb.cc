@@ -9,21 +9,25 @@ SpeculativeStoreBuffer::SpeculativeStoreBuffer(unsigned entries)
     : capacity_(entries), latency_(ssbLatencyFor(entries))
 {
     SP_ASSERT(entries > 0, "SSB needs at least one entry");
+    entries_.reserve(entries);
+    epochIds_.reserve(16);
+    epochLive_.reserve(16);
 }
 
 void
 SpeculativeStoreBuffer::push(const SsbEntry &entry, Tick now)
 {
     SP_ASSERT(!full(), "SSB overflow");
-    SP_ASSERT(epochCounts_.empty() ||
-                  entry.epoch >= epochCounts_.back().first,
+    SP_ASSERT(epochIds_.empty() || entry.epoch >= epochIds_.back(),
               "SSB epoch tags must be monotone");
     if (entry.type == SsbEntryType::kStore)
         storeCover_.add(entry.addr, entry.size);
-    if (!epochCounts_.empty() && epochCounts_.back().first == entry.epoch)
-        ++epochCounts_.back().second;
-    else
-        epochCounts_.emplace_back(entry.epoch, 1);
+    if (!epochIds_.empty() && epochIds_.back() == entry.epoch) {
+        ++epochLive_.back();
+    } else {
+        epochIds_.push_back(entry.epoch);
+        epochLive_.push_back(1);
+    }
     entries_.push_back(entry);
     if (tracer_ && tracer_->enabled(kTraceSsb)) {
         tracer_->counter(kTraceSsb, "ssb_occupancy", now,
@@ -45,11 +49,12 @@ SpeculativeStoreBuffer::pop(Tick now)
     const SsbEntry &head = entries_.front();
     if (head.type == SsbEntryType::kStore)
         storeCover_.sub(head.addr, head.size);
-    SP_ASSERT(!epochCounts_.empty() &&
-                  epochCounts_.front().first == head.epoch,
+    SP_ASSERT(!epochIds_.empty() && epochIds_.front() == head.epoch,
               "SSB epoch accounting out of sync");
-    if (--epochCounts_.front().second == 0)
-        epochCounts_.pop_front();
+    if (--epochLive_.front() == 0) {
+        epochIds_.pop_front();
+        epochLive_.pop_front();
+    }
     entries_.pop_front();
     if (entries_.empty()) {
         // Episode over: release the coverage index's stale zero-count
@@ -73,9 +78,10 @@ SpeculativeStoreBuffer::searchForLoad(Addr addr, unsigned size) const
 bool
 SpeculativeStoreBuffer::hasEntriesFor(uint64_t epoch) const
 {
-    for (const auto &[id, count] : epochCounts_) {
+    for (size_t i = 0; i < epochIds_.size(); ++i) {
+        uint64_t id = epochIds_[i];
         if (id == epoch)
-            return count != 0;
+            return epochLive_[i] != 0;
         if (id > epoch)
             return false;
     }
@@ -86,8 +92,16 @@ void
 SpeculativeStoreBuffer::clear()
 {
     entries_.clear();
-    epochCounts_.clear();
+    epochIds_.clear();
+    epochLive_.clear();
     storeCover_.clear();
+}
+
+void
+SpeculativeStoreBuffer::collectPoolStats(std::vector<PoolStat> &out) const
+{
+    out.push_back(entries_.stat("ssb.entries"));
+    out.push_back(epochIds_.stat("ssb.epochRuns"));
 }
 
 } // namespace sp

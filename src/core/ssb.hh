@@ -15,11 +15,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <utility>
+#include <vector>
 
 #include "core/addr_map.hh"
 #include "sim/config.hh"
+#include "sim/pool.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -108,10 +108,13 @@ class SpeculativeStoreBuffer
     /** Discard everything (abort or speculation exit). */
     void clear();
 
+    /** Append buffer capacity/high-water stats. */
+    void collectPoolStats(std::vector<PoolStat> &out) const;
+
   private:
     unsigned capacity_;
     unsigned latency_;
-    std::deque<SsbEntry> entries_;
+    RingDeque<SsbEntry> entries_;
     /**
      * Byte-granular coverage counts of the buffered kStore entries,
      * kept coherent with the deque on push/pop/clear. Existence of an
@@ -120,12 +123,14 @@ class SpeculativeStoreBuffer
      */
     ByteCoverageMap storeCover_;
     /**
-     * Run-length view of the entries' (monotone) epoch tags:
-     * (epoch, live entry count), oldest first. Epoch ids only grow and
-     * entries leave FIFO, so hasEntriesFor() scans the handful of live
-     * epochs instead of the whole buffer.
+     * Run-length view of the entries' (monotone) epoch tags, oldest
+     * first, in structure-of-arrays form: epochIds_[i] holds the id and
+     * epochLive_[i] the live entry count of run i. Epoch ids only grow
+     * and entries leave FIFO, so hasEntriesFor() scans the handful of
+     * live runs -- contiguous ids only -- instead of the whole buffer.
      */
-    std::deque<std::pair<uint64_t, uint32_t>> epochCounts_;
+    RingDeque<uint64_t> epochIds_;
+    RingDeque<uint32_t> epochLive_;
     Tracer *tracer_ = nullptr;
 };
 

@@ -18,6 +18,59 @@ OooCore::OooCore(const SimConfig &cfg, Program &program,
       governor_(cfg.fault.watchdog)
 {
     governor_.attach(&stats_, nullptr);
+    // Warm every pipeline container to its architectural bound so the
+    // steady state never grows a buffer.
+    fetchQ_.reserve(cfg.core.fetchQueueSize);
+    rob_.reserve(cfg.core.robSize);
+    storeBuffer_.reserve(cfg.core.storeBufferSize);
+    readySeqs_.reserve(cfg.core.robSize);
+    pendingWakes_.at.reserve(cfg.core.robSize);
+    pendingWakes_.seq.reserve(cfg.core.robSize);
+    gateScratch_.reserve(16);
+}
+
+// --------------------------------------------------------------------------
+// Timed-wake heap (SoA)
+// --------------------------------------------------------------------------
+
+void
+OooCore::WakeHeap::push(Tick t, uint64_t s)
+{
+    at.push_back(t);
+    seq.push_back(s);
+    size_t i = at.size() - 1;
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (at[parent] <= at[i])
+            break;
+        std::swap(at[parent], at[i]);
+        std::swap(seq[parent], seq[i]);
+        i = parent;
+    }
+    if (at.size() > highWater)
+        highWater = at.size();
+}
+
+void
+OooCore::WakeHeap::pop()
+{
+    size_t n = at.size() - 1;
+    at[0] = at[n];
+    seq[0] = seq[n];
+    at.pop_back();
+    seq.pop_back();
+    size_t i = 0;
+    while (true) {
+        size_t l = 2 * i + 1;
+        if (l >= n)
+            break;
+        size_t m = (l + 1 < n && at[l + 1] < at[l]) ? l + 1 : l;
+        if (at[i] <= at[m])
+            break;
+        std::swap(at[i], at[m]);
+        std::swap(seq[i], seq[m]);
+        i = m;
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -290,7 +343,7 @@ OooCore::enqueueForIssue(DynOp &op)
         op.waitNext = waitHead_[idx];
         waitHead_[idx] = op.seq;
     } else if (t > now_) {
-        pendingWakes_.push({t, op.seq});
+        pendingWakes_.push(t, op.seq);
     } else {
         readySeqs_.push(op.seq);
     }
@@ -299,8 +352,8 @@ OooCore::enqueueForIssue(DynOp &op)
 void
 OooCore::clearIssueQueues()
 {
-    readySeqs_ = {};
-    pendingWakes_ = {};
+    readySeqs_.clear();
+    pendingWakes_.clear();
     std::fill(waitHead_.begin(), waitHead_.end(), 0);
     unissuedCount_ = 0;
 }
@@ -374,7 +427,7 @@ OooCore::executeOp(DynOp &op)
     while (waiter != 0) {
         DynOp *w = findBySeq(waiter);
         SP_ASSERT(w && !w->issued, "stale wait-chain entry");
-        pendingWakes_.push({ready, waiter});
+        pendingWakes_.push(ready, waiter);
         waiter = w->waitNext;
     }
 }
@@ -382,8 +435,8 @@ OooCore::executeOp(DynOp &op)
 void
 OooCore::issueStage()
 {
-    while (!pendingWakes_.empty() && pendingWakes_.top().at <= now_) {
-        readySeqs_.push(pendingWakes_.top().seq);
+    while (!pendingWakes_.empty() && pendingWakes_.topAt() <= now_) {
+        readySeqs_.push(pendingWakes_.topSeq());
         pendingWakes_.pop();
     }
     unsigned issued = 0;
@@ -593,13 +646,14 @@ OooCore::retirePcommit(const DynOp &head)
 bool
 OooCore::triggerSpeculation(const DynOp &fence)
 {
-    std::vector<uint64_t> gate;
+    gateScratch_.clear();
     for (const FlushFlight &flight : flushes_) {
         if (!mc_.flushComplete(flight.id))
-            gate.push_back(flight.id);
+            gateScratch_.push_back(flight.id);
     }
-    SP_ASSERT(!gate.empty(), "speculation trigger without pending pcommit");
-    if (!epochs_.beginSpeculation(fence.nextCursor, std::move(gate), now_))
+    SP_ASSERT(!gateScratch_.empty(),
+              "speculation trigger without pending pcommit");
+    if (!epochs_.beginSpeculation(fence.nextCursor, gateScratch_, now_))
         return false;
     specMode_ = true;
     epochHasPersistOps_ = false;
@@ -1228,6 +1282,21 @@ void
 OooCore::run()
 {
     runUntil(kTickNever);
+}
+
+void
+OooCore::collectPoolStats(std::vector<PoolStat> &out) const
+{
+    out.push_back(fetchQ_.stat("core.fetchQ"));
+    out.push_back(rob_.stat("core.rob"));
+    out.push_back(storeBuffer_.stat("core.storeBuffer"));
+    out.push_back(readySeqs_.stat("core.readySeqs"));
+    out.push_back({"core.pendingWakes", pendingWakes_.at.capacity(),
+                   pendingWakes_.highWater});
+    ssb_.collectPoolStats(out);
+    epochs_.collectPoolStats(out);
+    program_.collectPoolStats(out);
+    mc_.collectPoolStats(out);
 }
 
 } // namespace sp

@@ -32,12 +32,10 @@
 #define SP_CPU_OOO_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -53,6 +51,7 @@
 #include "mem/cache_hierarchy.hh"
 #include "mem/mem_system.hh"
 #include "sim/config.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -182,6 +181,13 @@ class OooCore
     /** Reorder-buffer occupancy. */
     size_t robOccupancy() const { return rob_.size(); }
 
+    /**
+     * Capacity/high-water of every pooled structure the core owns or
+     * drives (ROB, queues, SSB, epoch pools, program window, WPQ),
+     * appended to `out`. Cheap: reads counters the pools keep anyway.
+     */
+    void collectPoolStats(std::vector<PoolStat> &out) const;
+
   private:
     /** One in-flight dynamic micro-op. */
     struct DynOp
@@ -230,8 +236,8 @@ class OooCore
 
     // --- Pipeline state --------------------------------------------------
     Tick now_ = 0;
-    std::deque<DynOp> fetchQ_;
-    std::deque<DynOp> rob_;
+    RingDeque<DynOp> fetchQ_;
+    RingDeque<DynOp> rob_;
 
     /**
      * Event-driven issue wakeup. Scanning the whole issue window every
@@ -247,21 +253,35 @@ class OooCore
      * The reachable-ready sets per cycle are identical to the scan's,
      * so issue order and timing are bit-identical.
      */
-    std::priority_queue<uint64_t, std::vector<uint64_t>,
-                        std::greater<uint64_t>>
-        readySeqs_;
-    struct PendingWake
+    BinaryHeap<uint64_t> readySeqs_;
+    /**
+     * Timed-wake min-heap in structure-of-arrays form: the comparison
+     * key (`at`) scans contiguously during sifts instead of striding
+     * over {at, seq} pairs, and both arrays keep their capacity across
+     * clear() (an abort used to free the heap's buffer). Pop order among
+     * equal ticks is unspecified, exactly like the former
+     * priority_queue, and irrelevant: everything due by `now_` drains
+     * into readySeqs_, which orders issue by seq.
+     */
+    struct WakeHeap
     {
-        Tick at;
-        uint64_t seq;
-        bool operator>(const PendingWake &o) const
+        std::vector<Tick> at;
+        std::vector<uint64_t> seq;
+        size_t highWater = 0;
+
+        bool empty() const { return at.empty(); }
+        Tick topAt() const { return at.front(); }
+        uint64_t topSeq() const { return seq.front(); }
+        void push(Tick t, uint64_t s);
+        void pop();
+        void
+        clear()
         {
-            return at > o.at;
+            at.clear();
+            seq.clear();
         }
     };
-    std::priority_queue<PendingWake, std::vector<PendingWake>,
-                        std::greater<PendingWake>>
-        pendingWakes_;
+    WakeHeap pendingWakes_;
     std::vector<uint64_t> waitHead_;
     /** Dispatched-but-unissued ops (issue-queue occupancy). */
     unsigned unissuedCount_ = 0;
@@ -278,7 +298,7 @@ class OooCore
     std::vector<Tick> doneAt_;
 
     // --- Post-retirement store path --------------------------------------
-    std::deque<StoreBufEntry> storeBuffer_;
+    RingDeque<StoreBufEntry> storeBuffer_;
     bool sbInFlight_ = false;
     Tick sbHeadDoneAt_ = 0;
     Addr sbInFlightBlock_ = 0;
@@ -289,6 +309,8 @@ class OooCore
     // --- Persist-op bookkeeping (non-speculative) -------------------------
     std::vector<Tick> persistAcks_;
     std::vector<FlushFlight> flushes_;
+    /** Reused speculation-gate scratch (incomplete flush ids). */
+    std::vector<uint64_t> gateScratch_;
 
     // --- Speculation state -------------------------------------------------
     bool specMode_ = false;

@@ -1,6 +1,7 @@
 #include "harness/runner.hh"
 
 #include <cstdlib>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -35,6 +36,31 @@ runOutcomeName(RunOutcome outcome)
         return "timeout";
     }
     return "unknown";
+}
+
+void
+PerfTelemetry::print(std::ostream &os, const std::string &prefix) const
+{
+    auto cacheLine = [&](const char *name, uint64_t hits, uint64_t misses) {
+        uint64_t total = hits + misses;
+        os << prefix << name << " image translation cache: " << hits
+           << " hits, " << misses << " misses";
+        if (total) {
+            os << " (" << std::fixed << std::setprecision(2)
+               << 100.0 * static_cast<double>(hits) /
+                   static_cast<double>(total)
+               << "% hit)";
+            os.unsetf(std::ios::floatfield);
+        }
+        os << "\n";
+    };
+    cacheLine("volatile", volatileTransHits, volatileTransMisses);
+    cacheLine("durable", durableTransHits, durableTransMisses);
+    for (const PoolStat &p : pools) {
+        os << prefix << std::left << std::setw(20) << p.name << std::right
+           << " capacity " << std::setw(8) << p.capacity << "  high-water "
+           << std::setw(8) << p.highWater << "\n";
+    }
 }
 
 void
@@ -227,6 +253,11 @@ runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
     // failure record should describe a fully assembled run.
     if (auditor)
         result.audit = auditor->finalize();
+    core.collectPoolStats(result.perf.pools);
+    result.perf.volatileTransHits = workload->image().translationHits();
+    result.perf.volatileTransMisses = workload->image().translationMisses();
+    result.perf.durableTransHits = result.durable.translationHits();
+    result.perf.durableTransMisses = result.durable.translationMisses();
     return result;
 }
 

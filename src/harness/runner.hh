@@ -15,6 +15,7 @@
 #include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/cycle_account.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "workloads/factory.hh"
@@ -87,6 +88,28 @@ enum class RunOutcome : uint8_t
 
 const char *runOutcomeName(RunOutcome outcome);
 
+/**
+ * Perf-infrastructure telemetry, filled for every run: the capacity and
+ * high-water mark of each steady-state pool/arena in the machine
+ * (fetch queue, ROB, SSB, epoch queue, WPQ, ...), plus the
+ * page-translation-cache hit/miss counters of both memory images.
+ * Collected after the run ends, so it is pure observation -- Stats and
+ * the durable image are bit-identical whether anyone reads it or not.
+ */
+struct PerfTelemetry
+{
+    std::vector<PoolStat> pools;
+    /** Volatile image (functional execution) translation cache. */
+    uint64_t volatileTransHits = 0;
+    uint64_t volatileTransMisses = 0;
+    /** Durable image (NVMM device) translation cache. */
+    uint64_t durableTransHits = 0;
+    uint64_t durableTransMisses = 0;
+
+    /** Human-readable table (spcli --cycle-account, bench reports). */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+};
+
 /** Everything a run produces. */
 struct RunResult
 {
@@ -109,6 +132,8 @@ struct RunResult
     /** Media faults injected into the crash snapshot (empty when
      *  sim.fault.media is off or the run completed). */
     MediaFaultPlan mediaFaults;
+    /** Pool high-water marks and translation-cache counters. */
+    PerfTelemetry perf;
 };
 
 /**

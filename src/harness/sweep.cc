@@ -352,44 +352,70 @@ jsonEscape(const std::string &s)
 std::string
 SweepSummary::toJson() const
 {
-    std::ostringstream os;
-    os << "{\"runs\":" << runs << ",\"failed\":" << failed
-       << ",\"okRuns\":" << okRuns << ",\"crashedRuns\":" << crashedRuns
-       << ",\"degradedRuns\":" << degradedRuns
-       << ",\"maxCyclesRuns\":" << maxCyclesRuns
-       << ",\"exceptionRuns\":" << exceptionRuns
-       << ",\"timeoutRuns\":" << timeoutRuns
-       << ",\"totalRetries\":" << totalRetries
-       << ",\"meanCycles\":" << meanCycles
-       << ",\"stddevCycles\":" << stddevCycles
-       << ",\"minCycles\":" << minCycles << ",\"maxCycles\":" << maxCycles
-       << ",\"meanInstructions\":" << meanInstructions
-       << ",\"totalWallMs\":" << totalWallMs
-       << ",\"tracedRuns\":" << tracedRuns
-       << ",\"traceEvents\":" << traceEvents;
-    os << ",";
-    histogramJson(os, "fenceStall", fenceStall);
-    os << ",";
-    histogramJson(os, "epochDuration", epochDuration);
-    os << ",\"auditedRuns\":" << auditedRuns
-       << ",\"auditCleanRuns\":" << auditCleanRuns
-       << ",\"auditFindings\":" << auditFindings
-       << ",\"auditViolationEdges\":" << auditViolationEdges
-       << ",\"auditRedundantBarriers\":" << auditRedundantBarriers
-       << ",\"accountedRuns\":" << accountedRuns
-       << ",\"account\":" << account.toJson();
-    os << ",\"failures\":[";
+    // Single-pass append into one reserved buffer: the ostringstream
+    // version grew its buffer piecemeal and re-copied on every growth,
+    // visible in multi-summary report generation.
+    std::string out;
+    out.reserve(1536 + 160 * failures.size());
+    auto field = [&out](const char *key, uint64_t v) {
+        out += ",\"";
+        out += key;
+        out += "\":";
+        out += std::to_string(v);
+    };
+    out += "{\"runs\":";
+    out += std::to_string(runs);
+    field("failed", failed);
+    field("okRuns", okRuns);
+    field("crashedRuns", crashedRuns);
+    field("degradedRuns", degradedRuns);
+    field("maxCyclesRuns", maxCyclesRuns);
+    field("exceptionRuns", exceptionRuns);
+    field("timeoutRuns", timeoutRuns);
+    field("totalRetries", totalRetries);
+    out += ",\"meanCycles\":";
+    appendJsonNumber(out, meanCycles);
+    out += ",\"stddevCycles\":";
+    appendJsonNumber(out, stddevCycles);
+    field("minCycles", minCycles);
+    field("maxCycles", maxCycles);
+    out += ",\"meanInstructions\":";
+    appendJsonNumber(out, meanInstructions);
+    out += ",\"totalWallMs\":";
+    appendJsonNumber(out, totalWallMs);
+    field("tracedRuns", tracedRuns);
+    field("traceEvents", traceEvents);
+    out += ',';
+    histogramJson(out, "fenceStall", fenceStall);
+    out += ',';
+    histogramJson(out, "epochDuration", epochDuration);
+    field("auditedRuns", auditedRuns);
+    field("auditCleanRuns", auditCleanRuns);
+    field("auditFindings", auditFindings);
+    field("auditViolationEdges", auditViolationEdges);
+    field("auditRedundantBarriers", auditRedundantBarriers);
+    field("accountedRuns", accountedRuns);
+    out += ",\"account\":";
+    out += account.toJson();
+    out += ",\"failures\":[";
     for (size_t i = 0; i < failures.size(); ++i) {
         const SweepFailureRecord &f = failures[i];
         if (i)
-            os << ",";
-        os << "{\"index\":" << f.index << ",\"outcome\":\""
-           << runOutcomeName(f.outcome) << "\",\"retries\":" << f.retries
-           << ",\"error\":\"" << jsonEscape(f.error) << "\",\"config\":\""
-           << jsonEscape(f.config) << "\"}";
+            out += ',';
+        out += "{\"index\":";
+        out += std::to_string(f.index);
+        out += ",\"outcome\":\"";
+        out += runOutcomeName(f.outcome);
+        out += "\",\"retries\":";
+        out += std::to_string(f.retries);
+        out += ",\"error\":\"";
+        out += jsonEscape(f.error);
+        out += "\",\"config\":\"";
+        out += jsonEscape(f.config);
+        out += "\"}";
     }
-    os << "]}";
-    return os.str();
+    out += "]}";
+    return out;
 }
 
 } // namespace sp

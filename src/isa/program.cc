@@ -54,8 +54,7 @@ ReplayableProgram::release(Cursor c)
     SP_ASSERT(c >= base_, "release cursor moved backwards");
     size_t drop = static_cast<size_t>(c - base_);
     SP_ASSERT(drop <= offset_, "releasing ops that were not yet delivered");
-    window_.erase(window_.begin(),
-                  window_.begin() + static_cast<ptrdiff_t>(drop));
+    window_.popFront(drop);
     base_ = c;
     offset_ -= drop;
 }

@@ -13,10 +13,10 @@
 #define SP_ISA_PROGRAM_HH
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "isa/microop.hh"
+#include "sim/pool.hh"
 
 namespace sp
 {
@@ -34,6 +34,9 @@ class Program
      * @retval true an op was produced; false the program has ended.
      */
     virtual bool next(MicroOp &op) = 0;
+
+    /** Append capacity/high-water stats of any internal pools. */
+    virtual void collectPoolStats(std::vector<PoolStat> &) const {}
 };
 
 /** Plays back a fixed vector of micro-ops; used by tests and examples. */
@@ -81,9 +84,16 @@ class ReplayableProgram : public Program
     /** Number of ops currently retained for potential replay. */
     size_t retained() const { return window_.size(); }
 
+    void
+    collectPoolStats(std::vector<PoolStat> &out) const override
+    {
+        out.push_back(window_.stat("program.window"));
+        inner_.collectPoolStats(out);
+    }
+
   private:
     Program &inner_;
-    std::deque<MicroOp> window_;
+    RingDeque<MicroOp> window_;
     /** Stream index of window_[0]. */
     Cursor base_ = 0;
     /** Read offset into window_; window_.size() means "at the frontier". */

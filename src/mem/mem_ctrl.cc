@@ -14,6 +14,11 @@ MemCtrl::MemCtrl(const MemConfig &cfg, MemImage &durable)
 {
     SP_ASSERT(cfg_.nvmmBanks > 0, "NVMM needs at least one bank");
     bankFreeAt_.assign(cfg_.nvmmBanks, 0);
+    // Evictions may overfill to 2x wpqEntries; warm both queues to the
+    // bound so steady-state traffic never grows them.
+    wpq_.reserve(2 * cfg_.wpqEntries);
+    inflight_.reserve(cfg_.wpqEntries);
+    pending_.reserve(16);
 }
 
 unsigned

@@ -16,11 +16,11 @@
 #define SP_MEM_MEM_CTRL_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "mem/mem_image.hh"
 #include "sim/config.hh"
+#include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -152,6 +152,15 @@ class MemCtrl
     /** Timeline position of the last advanceTo()/read() call. */
     Tick currentTick() const { return lastNow_; }
 
+    /** Append WPQ/in-flight/flush-record capacity and high-water stats. */
+    void
+    collectPoolStats(std::vector<PoolStat> &out) const
+    {
+        out.push_back(wpq_.stat("mc.wpq"));
+        out.push_back(inflight_.stat("mc.inflight"));
+        out.push_back(pending_.stat("mc.pendingFlushes"));
+    }
+
   private:
     struct WpqEntry
     {
@@ -194,9 +203,9 @@ class MemCtrl
     Tracer *tracer_ = nullptr;
     uint64_t traceIdBase_ = 0;
 
-    std::deque<WpqEntry> wpq_;
+    RingDeque<WpqEntry> wpq_;
     /** Writes on the device; in-order dispatch keeps doneAt monotone. */
-    std::deque<InFlight> inflight_;
+    RingDeque<InFlight> inflight_;
     uint64_t nextSeq_ = 1;
     uint64_t drainedSeq_ = 0;
 
@@ -210,7 +219,7 @@ class MemCtrl
 
     uint64_t nextFlushId_ = 1;
     /** Incomplete flushes, oldest first; see PendingFlush. */
-    std::deque<PendingFlush> pending_;
+    RingDeque<PendingFlush> pending_;
     /** Flush id of pending_.front(); ids below it are complete. */
     uint64_t firstPendingId_ = 1;
 

@@ -56,8 +56,11 @@ MemImage::findPage(Addr addr)
 {
     uint64_t num = addr / kPageBytes;
     unsigned slot = num % kTransSlots;
-    if (transNum_[slot] == num)
+    if (transNum_[slot] == num) {
+        ++transHits_;
         return transPage_[slot];
+    }
+    ++transMisses_;
     auto it = pages_.find(num);
     if (it == pages_.end())
         return nullptr;
@@ -71,8 +74,11 @@ MemImage::findPage(Addr addr) const
 {
     uint64_t num = addr / kPageBytes;
     unsigned slot = num % kTransSlots;
-    if (transNum_[slot] == num)
+    if (transNum_[slot] == num) {
+        ++transHits_;
         return transPage_[slot];
+    }
+    ++transMisses_;
     auto it = pages_.find(num);
     if (it == pages_.end())
         return nullptr;
@@ -86,8 +92,11 @@ MemImage::ensurePage(Addr addr)
 {
     uint64_t num = addr / kPageBytes;
     unsigned slot = num % kTransSlots;
-    if (transNum_[slot] == num)
+    if (transNum_[slot] == num) {
+        ++transHits_;
         return *transPage_[slot];
+    }
+    ++transMisses_;
     auto &owned = pages_[num];
     if (!owned) {
         owned = std::make_unique<Page>();

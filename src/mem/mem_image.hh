@@ -58,6 +58,7 @@ class MemImage
         unsigned off = static_cast<unsigned>(addr % kPageBytes);
         unsigned slot = static_cast<unsigned>(num % kTransSlots);
         if (off + size <= kPageBytes && transNum_[slot] == num) {
+            ++transHits_;
             std::memcpy(out, transPage_[slot]->data() + off, size);
             return;
         }
@@ -71,6 +72,7 @@ class MemImage
         unsigned off = static_cast<unsigned>(addr % kPageBytes);
         unsigned slot = static_cast<unsigned>(num % kTransSlots);
         if (off + size <= kPageBytes && transNum_[slot] == num) {
+            ++transHits_;
             std::memcpy(transPage_[slot]->data() + off, in, size);
             return;
         }
@@ -101,6 +103,17 @@ class MemImage
 
     /** Number of resident pages (for tests and memory accounting). */
     size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Translation-cache effectiveness counters. A hit is any access that
+     * resolved a page through the direct-mapped cache (including the
+     * per-chunk lookups inside the slow path); a miss is a lookup that
+     * had to fall back to the hash map. Plain increments on the fast
+     * path, so always on. Not copied/moved with the image contents --
+     * they describe this object's access history, not the data.
+     */
+    uint64_t translationHits() const { return transHits_; }
+    uint64_t translationMisses() const { return transMisses_; }
 
     /**
      * Deterministic 64-bit content hash (FNV-1a over pages in address
@@ -176,6 +189,9 @@ class MemImage
     mutable std::array<Page *, kTransSlots> transPage_;
 
     static constexpr uint64_t kNoPageNum = ~0ull;
+
+    mutable uint64_t transHits_ = 0;
+    mutable uint64_t transMisses_ = 0;
 
     void resetTranslationCache()
     {

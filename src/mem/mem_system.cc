@@ -56,8 +56,7 @@ MemSystem::advanceTo(Tick now)
         }
         if (!complete)
             break;
-        flushParts_.erase(flushParts_.begin(),
-                          flushParts_.begin() + static_cast<long>(n));
+        flushParts_.popFront(n);
         ++firstFlushId_;
     }
 }

@@ -14,11 +14,11 @@
 #ifndef SP_MEM_MEM_SYSTEM_HH
 #define SP_MEM_MEM_SYSTEM_HH
 
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "mem/mem_ctrl.hh"
+#include "sim/pool.hh"
 
 namespace sp
 {
@@ -114,6 +114,15 @@ class MemSystem
         return flushParts_.size() / ctrls_.size();
     }
 
+    /** Append queue capacity/high-water stats of every controller. */
+    void
+    collectPoolStats(std::vector<PoolStat> &out) const
+    {
+        for (const auto &ctrl : ctrls_)
+            ctrl->collectPoolStats(out);
+        out.push_back(flushParts_.stat("mc.flushParts"));
+    }
+
   private:
     std::vector<std::unique_ptr<MemCtrl>> ctrls_;
     Stats *stats_ = nullptr;
@@ -128,7 +137,7 @@ class MemSystem
      * flight (the old map kept every flush ever started). Ids below
      * firstFlushId_ are complete by construction.
      */
-    std::deque<uint64_t> flushParts_;
+    RingDeque<uint64_t> flushParts_;
     uint64_t firstFlushId_ = 1;
 
     unsigned ownerOf(Addr blockAddr) const;

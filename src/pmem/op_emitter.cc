@@ -175,13 +175,15 @@ OpEmitter::mutateEmit(const MicroOp &op)
 std::array<uint8_t, kBlockBytes> &
 OpEmitter::overlayBlock(Addr blockAddr)
 {
-    auto it = overlay_.find(blockAddr);
-    if (it == overlay_.end()) {
-        auto &blk = overlay_[blockAddr];
-        image_.readBlock(blockAddr, blk.data());
-        return blk;
+    uint32_t idx = overlayIndex_.find(blockAddr);
+    if (idx == AddrIndexMap::kNotFound) {
+        idx = overlayCount_++;
+        if (idx == overlayBlocks_.size())
+            overlayBlocks_.emplace_back();
+        overlayIndex_.insert(blockAddr, idx);
+        image_.readBlock(blockAddr, overlayBlocks_[idx].data());
     }
-    return it->second;
+    return overlayBlocks_[idx];
 }
 
 uint64_t
@@ -191,11 +193,11 @@ OpEmitter::shadowRead(Addr addr, unsigned size)
     SP_ASSERT(blockAlign(addr + size - 1) == blk_addr,
               "shadow read crosses a block boundary");
     shadowReads_.push_back(blk_addr);
-    auto it = overlay_.find(blk_addr);
-    if (it == overlay_.end())
+    uint32_t idx = overlayIndex_.find(blk_addr);
+    if (idx == AddrIndexMap::kNotFound)
         return image_.readInt(addr, size);
     uint64_t v = 0;
-    std::copy_n(it->second.data() + blockOffset(addr), size,
+    std::copy_n(overlayBlocks_[idx].data() + blockOffset(addr), size,
                 reinterpret_cast<uint8_t *>(&v));
     return v;
 }
@@ -217,29 +219,35 @@ OpEmitter::beginShadow()
 {
     SP_ASSERT(!shadow_, "nested shadow passes are not supported");
     shadow_ = true;
-    overlay_.clear();
+    overlayIndex_.clear();
+    overlayCount_ = 0;
     shadowReads_.clear();
     shadowWrites_.clear();
 }
 
-OpEmitter::ShadowResult
-OpEmitter::endShadow()
+void
+OpEmitter::endShadow(ShadowResult &out)
 {
     SP_ASSERT(shadow_, "endShadow outside a shadow pass");
     shadow_ = false;
-    ShadowResult result;
-    result.readBlocks = std::move(shadowReads_);
-    result.writtenBlocks = std::move(shadowWrites_);
-    overlay_.clear();
-    shadowReads_.clear();
-    shadowWrites_.clear();
+    out.readBlocks.swap(shadowReads_);
+    out.writtenBlocks.swap(shadowWrites_);
+    overlayIndex_.clear();
+    overlayCount_ = 0;
     // Deduplicate, preserving nothing about order (callers sort anyway).
     auto dedup = [](std::vector<Addr> &v) {
         std::sort(v.begin(), v.end());
         v.erase(std::unique(v.begin(), v.end()), v.end());
     };
-    dedup(result.readBlocks);
-    dedup(result.writtenBlocks);
+    dedup(out.readBlocks);
+    dedup(out.writtenBlocks);
+}
+
+OpEmitter::ShadowResult
+OpEmitter::endShadow()
+{
+    ShadowResult result;
+    endShadow(result);
     return result;
 }
 

@@ -20,14 +20,14 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/addr_map.hh"
 #include "isa/microop.hh"
 #include "isa/program.hh"
 #include "mem/mem_image.hh"
+#include "sim/pool.hh"
 
 namespace sp
 {
@@ -229,20 +229,40 @@ class OpEmitter : public Program
     /** Leave shadow mode, discarding the overlay. */
     ShadowResult endShadow();
 
+    /**
+     * Allocation-free variant: swaps the touched-block lists into `out`
+     * (sorted, deduplicated). A caller that reuses the same ShadowResult
+     * recycles its vector capacity across transactions.
+     */
+    void endShadow(ShadowResult &out);
+
     bool inShadow() const { return shadow_; }
+
+    void
+    collectPoolStats(std::vector<PoolStat> &out) const override
+    {
+        out.push_back(queue_.stat("emitter.queue"));
+        out.push_back({"emitter.overlayBlocks", overlayBlocks_.capacity(),
+                       overlayBlocks_.size()});
+    }
 
   private:
     MemImage &image_;
     PersistMode mode_;
     bool muted_ = false;
-    std::deque<MicroOp> queue_;
+    RingDeque<MicroOp> queue_;
     std::function<bool()> generator_;
     uint64_t emitted_ = 0;
     bool finished_ = false;
 
     bool evictOnPersist_ = false;
     bool shadow_ = false;
-    std::unordered_map<Addr, std::array<uint8_t, kBlockBytes>> overlay_;
+    /** blockAddr -> index into overlayBlocks_; cleared per shadow pass. */
+    AddrIndexMap overlayIndex_;
+    /** Pooled overlay block storage; grows to high-water, then reused. */
+    std::vector<std::array<uint8_t, kBlockBytes>> overlayBlocks_;
+    /** Blocks of overlayBlocks_ in use this pass. */
+    uint32_t overlayCount_ = 0;
     std::vector<Addr> shadowReads_;
     std::vector<Addr> shadowWrites_;
 

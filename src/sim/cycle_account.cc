@@ -125,25 +125,39 @@ CycleAccount::print(std::ostream &os, const std::string &prefix) const
 std::string
 CycleAccount::toJson() const
 {
-    std::ostringstream os;
-    os << "{\"enabled\":" << (enabled ? "true" : "false")
-       << ",\"cycles\":" << cycles << ",\"categories\":{";
+    // Single-pass append into one reserved buffer (see
+    // TraceSummary::toJson for the rationale).
+    std::string out;
+    out.reserve(1024);
+    out += "{\"enabled\":";
+    out += enabled ? "true" : "false";
+    out += ",\"cycles\":";
+    out += std::to_string(cycles);
+    out += ",\"categories\":{";
     for (unsigned i = 0; i < kNumCycleCats; ++i) {
         if (i)
-            os << ",";
-        os << "\"" << cycleCatName(static_cast<CycleCat>(i))
-           << "\":" << categories[i];
+            out += ',';
+        out += '"';
+        out += cycleCatName(static_cast<CycleCat>(i));
+        out += "\":";
+        out += std::to_string(categories[i]);
     }
-    os << "},\"ledger\":{\"barrierCycles\":" << ledger.barrierCycles
-       << ",\"hiddenCycles\":" << ledger.hiddenCycles
-       << ",\"exposedCycles\":" << ledger.exposedCycles
-       << ",\"barrierEpisodes\":" << ledger.barrierEpisodes
-       << ",\"specEpisodes\":" << ledger.specEpisodes << ",";
-    histogramJson(os, "episodeLatency", ledger.episodeLatency);
-    os << ",";
-    histogramJson(os, "episodeHidden", ledger.episodeHidden);
-    os << "}}";
-    return os.str();
+    out += "},\"ledger\":{\"barrierCycles\":";
+    out += std::to_string(ledger.barrierCycles);
+    out += ",\"hiddenCycles\":";
+    out += std::to_string(ledger.hiddenCycles);
+    out += ",\"exposedCycles\":";
+    out += std::to_string(ledger.exposedCycles);
+    out += ",\"barrierEpisodes\":";
+    out += std::to_string(ledger.barrierEpisodes);
+    out += ",\"specEpisodes\":";
+    out += std::to_string(ledger.specEpisodes);
+    out += ',';
+    histogramJson(out, "episodeLatency", ledger.episodeLatency);
+    out += ',';
+    histogramJson(out, "episodeHidden", ledger.episodeHidden);
+    out += "}}";
+    return out;
 }
 
 // --------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace sp
@@ -102,13 +103,41 @@ Histogram::print(std::ostream &os, const std::string &prefix) const
 void
 histogramJson(std::ostream &os, const char *name, const Histogram &h)
 {
-    os << "\"" << name << "\":{\"n\":" << h.samples()
-       << ",\"mean\":" << h.mean()
-       << ",\"p50\":" << h.percentileUpperBound(0.50)
-       << ",\"p90\":" << h.percentileUpperBound(0.90)
-       << ",\"p99\":" << h.percentileUpperBound(0.99)
-       << ",\"p999\":" << h.percentileUpperBound(0.999)
-       << ",\"max\":" << h.max() << "}";
+    std::string out;
+    histogramJson(out, name, h);
+    os << out;
+}
+
+void
+appendJsonNumber(std::string &out, double value)
+{
+    // "%.6g" is what `os << value` prints at the default precision, so
+    // both renderer families emit byte-identical documents.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out += buf;
+}
+
+void
+histogramJson(std::string &out, const char *name, const Histogram &h)
+{
+    out += '"';
+    out += name;
+    out += "\":{\"n\":";
+    out += std::to_string(h.samples());
+    out += ",\"mean\":";
+    appendJsonNumber(out, h.mean());
+    out += ",\"p50\":";
+    out += std::to_string(h.percentileUpperBound(0.50));
+    out += ",\"p90\":";
+    out += std::to_string(h.percentileUpperBound(0.90));
+    out += ",\"p99\":";
+    out += std::to_string(h.percentileUpperBound(0.99));
+    out += ",\"p999\":";
+    out += std::to_string(h.percentileUpperBound(0.999));
+    out += ",\"max\":";
+    out += std::to_string(h.max());
+    out += '}';
 }
 
 void

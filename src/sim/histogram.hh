@@ -75,6 +75,16 @@ class Histogram
  */
 void histogramJson(std::ostream &os, const char *name, const Histogram &h);
 
+/** Append-to-string variant for single-pass renderers (same schema). */
+void histogramJson(std::string &out, const char *name, const Histogram &h);
+
+/**
+ * Append a double formatted exactly as `os << value` would print it
+ * (default stream precision), so string-building renderers emit the
+ * same bytes as the stream-based ones.
+ */
+void appendJsonNumber(std::string &out, double value);
+
 } // namespace sp
 
 #endif // SP_SIM_HISTOGRAM_HH

@@ -140,13 +140,21 @@ Tracer::noteForSummary(const TraceEvent &event)
       case TraceKind::kAsyncEnd: {
         if (std::strcmp(event.name, "epoch") == 0)
             ++summary_.epochsEnded;
-        std::string key =
-            std::string(event.name) + ":" + std::to_string(event.id);
-        auto it = openAsync_.find(key);
-        if (it == openAsync_.end())
+        size_t open = openAsync_.size();
+        size_t i = 0;
+        for (; i < open; ++i) {
+            const OpenAsync &span = openAsync_[i];
+            if (span.id == event.id &&
+                (span.name == event.name ||
+                 std::strcmp(span.name, event.name) == 0))
+                break;
+        }
+        if (i == open)
             break;
-        Tick dur = event.tick >= it->second ? event.tick - it->second : 0;
-        openAsync_.erase(it);
+        Tick begin = openAsync_[i].begin;
+        Tick dur = event.tick >= begin ? event.tick - begin : 0;
+        openAsync_[i] = openAsync_.back();
+        openAsync_.pop_back();
         if (std::strcmp(event.name, "epoch") == 0)
             summary_.epochDuration.record(dur);
         else if (std::strcmp(event.name, "pcommit") == 0)
@@ -162,11 +170,8 @@ Tracer::noteForSummary(const TraceEvent &event)
 void
 Tracer::publish(TraceEvent event)
 {
-    if (event.kind == TraceKind::kAsyncBegin) {
-        openAsync_.emplace(
-            std::string(event.name) + ":" + std::to_string(event.id),
-            event.tick);
-    }
+    if (event.kind == TraceKind::kAsyncBegin)
+        openAsync_.push_back({event.name, event.id, event.tick});
     noteForSummary(event);
     if (textSink_)
         emitText(event);
@@ -354,20 +359,35 @@ Tracer::writeCounterCsv(std::ostream &os) const
 std::string
 TraceSummary::toJson() const
 {
-    std::ostringstream os;
-    os << "{\"events\":" << events << ",\"dropped\":" << dropped
-       << ",\"counterSamples\":" << counterSamples
-       << ",\"aborts\":" << aborts << ",\"ssbForwards\":" << ssbForwards
-       << ",\"bloomFalsePositives\":" << bloomFalsePositives
-       << ",\"epochsBegun\":" << epochsBegun
-       << ",\"epochsEnded\":" << epochsEnded << ",";
-    histogramJson(os, "fenceStall", fenceStall);
-    os << ",";
-    histogramJson(os, "epochDuration", epochDuration);
-    os << ",";
-    histogramJson(os, "pcommitLatency", pcommitLatency);
-    os << "}";
-    return os.str();
+    // Single-pass append into one reserved buffer; the ostringstream
+    // version reallocated its internal buffer several times per call
+    // and sweeps render one of these per cell.
+    std::string out;
+    out.reserve(768);
+    out += "{\"events\":";
+    out += std::to_string(events);
+    out += ",\"dropped\":";
+    out += std::to_string(dropped);
+    out += ",\"counterSamples\":";
+    out += std::to_string(counterSamples);
+    out += ",\"aborts\":";
+    out += std::to_string(aborts);
+    out += ",\"ssbForwards\":";
+    out += std::to_string(ssbForwards);
+    out += ",\"bloomFalsePositives\":";
+    out += std::to_string(bloomFalsePositives);
+    out += ",\"epochsBegun\":";
+    out += std::to_string(epochsBegun);
+    out += ",\"epochsEnded\":";
+    out += std::to_string(epochsEnded);
+    out += ',';
+    histogramJson(out, "fenceStall", fenceStall);
+    out += ',';
+    histogramJson(out, "epochDuration", epochDuration);
+    out += ',';
+    histogramJson(out, "pcommitLatency", pcommitLatency);
+    out += '}';
+    return out;
 }
 
 // --------------------------------------------------------------------------

@@ -34,7 +34,6 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/histogram.hh"
@@ -220,9 +219,20 @@ class Tracer
     std::ostream *textSink_ = nullptr;
     std::vector<TraceEvent> events_;
     TraceSummary summary_;
-    /** Open async spans: "name:id" -> begin tick (async events are
-     *  rare -- epochs and pcommits -- so the string key is cheap). */
-    std::unordered_map<std::string, Tick> openAsync_;
+    /**
+     * Open async spans, matched on (name pointer/content, id). A flat
+     * vector beats the old "name:id" string-keyed map: spans in flight
+     * are few (epochs bounded by checkpoints, pcommits by the WPQ) but
+     * open/close millions of times per sweep, and each used to build
+     * two heap-allocated key strings.
+     */
+    struct OpenAsync
+    {
+        const char *name;
+        uint64_t id;
+        Tick begin;
+    };
+    std::vector<OpenAsync> openAsync_;
 
     void publish(TraceEvent event);
     void noteForSummary(const TraceEvent &event);

@@ -29,39 +29,39 @@ TreeWorkload::runTx(const std::function<void()> &body)
     freshNodes_.clear();
     em_.beginShadow();
     body();
-    auto shadow = em_.endShadow();
+    em_.endShadow(shadow_);
     alloc_.restore(alloc_snapshot);
 
-    if (shadow.writtenBlocks.empty()) {
+    if (shadow_.writtenBlocks.empty()) {
         // Read-only: no transaction, no barriers; just execute.
         freshNodes_.clear();
         body();
         return false;
     }
 
-    std::vector<Addr> fresh = freshNodes_;
-    std::sort(fresh.begin(), fresh.end());
+    fresh_.assign(freshNodes_.begin(), freshNodes_.end());
+    std::sort(fresh_.begin(), fresh_.end());
 
     // Log set: everything read or written, minus freshly allocated nodes
     // (their pre-state is garbage and undo never needs it) and minus the
     // generation block (logged separately).
-    std::vector<Addr> log_set = shadow.readBlocks;
-    log_set.insert(log_set.end(), shadow.writtenBlocks.begin(),
-                   shadow.writtenBlocks.end());
-    std::sort(log_set.begin(), log_set.end());
-    log_set.erase(std::unique(log_set.begin(), log_set.end()),
-                  log_set.end());
-    std::erase_if(log_set, [&](Addr a) {
-        return std::binary_search(fresh.begin(), fresh.end(), a) ||
+    logSet_.assign(shadow_.readBlocks.begin(), shadow_.readBlocks.end());
+    logSet_.insert(logSet_.end(), shadow_.writtenBlocks.begin(),
+                   shadow_.writtenBlocks.end());
+    std::sort(logSet_.begin(), logSet_.end());
+    logSet_.erase(std::unique(logSet_.begin(), logSet_.end()),
+                  logSet_.end());
+    std::erase_if(logSet_, [&](Addr a) {
+        return std::binary_search(fresh_.begin(), fresh_.end(), a) ||
             a == blockAlign(kGenerationAddr);
     });
 
     // Pass B (real): the paper's four-step transaction.
     tx_.begin();
-    for (Addr blk : log_set)
+    for (Addr blk : logSet_)
         tx_.logRange(blk, kBlockBytes);
     // Fresh nodes need no undo cover, but their CRC slots do.
-    for (Addr blk : fresh)
+    for (Addr blk : fresh_)
         tx_.trackRange(blk, kBlockBytes);
     logGeneration();
     tx_.seal();
@@ -69,7 +69,7 @@ TreeWorkload::runTx(const std::function<void()> &body)
     freshNodes_.clear();
     body();
 
-    for (Addr blk : shadow.writtenBlocks) {
+    for (Addr blk : shadow_.writtenBlocks) {
         if (blk != blockAlign(kGenerationAddr))
             em_.clwb(blk);
     }

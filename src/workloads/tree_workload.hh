@@ -58,6 +58,11 @@ class TreeWorkload : public Workload
 
   private:
     std::vector<Addr> freshNodes_;
+    // Per-transaction scratch, reused across operations so the steady
+    // state allocates nothing: shadow result, sorted fresh set, log set.
+    OpEmitter::ShadowResult shadow_;
+    std::vector<Addr> fresh_;
+    std::vector<Addr> logSet_;
 };
 
 } // namespace sp
