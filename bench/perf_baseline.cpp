@@ -12,9 +12,12 @@
  *   - fault_campaign: every workload under Log+P+Sf with SP on and the
  *     uniform conflict adversary firing, covering the abort/rollback
  *     paths the sweep grid never exercises;
- *   - smoke: one mid-sized SP configuration, small enough for CI. It
- *     runs three repetitions and keeps the best wall time so a transient
- *     load spike on the CI machine does not read as a regression.
+ *   - smoke: two mid-sized SP configurations (seeds 42/43), small enough
+ *     for CI. Two runs, not one, so the suite's steadyAllocations --
+ *     allocations after the first, pool-warming run -- is a real
+ *     measurement of the steady state instead of a constant zero. Three
+ *     repetitions, best wall time kept, so a transient load spike on the
+ *     CI machine does not read as a regression.
  *   - smoke_audit: the same cell with the durability audit attached.
  *     It has no absolute baseline entry (and --check skips suites
  *     without one); instead --check gates it *relative* to smoke --
@@ -24,6 +27,14 @@
  *     gated exactly like smoke_audit (identical simulated cycles,
  *     relative throughput envelope) so CPI-stack bookkeeping can never
  *     silently tax or perturb the simulator.
+ *   - single_run_serial / single_run_sliced: ONE long fully-observed run
+ *     (trace + audit + cycle account), serial vs parallel-in-time at 8
+ *     workers (harness/slice.hh). The two results must be byte-identical
+ *     -- a mismatch fails the bench outright, --check or not. Under
+ *     --check the sliced suite must also reach the target speedup over
+ *     serial (SP_BENCH_SLICE_SPEEDUP, default 2.0x) whenever the host
+ *     has >= 8 hardware threads; on smaller hosts the speedup is
+ *     reported but not gated, since parallelism cannot manifest.
  *
  * Per suite it reports simulated cycles, wall seconds, simulated
  * cycles/second, and heap allocations (counted by the interposed
@@ -33,6 +44,7 @@
  * Usage:
  *   bench_perf_baseline            run all suites, write BENCH_perf.json
  *   bench_perf_baseline --smoke    run only the smoke suite
+ *   bench_perf_baseline --single-run  run only the single_run suites
  *   bench_perf_baseline --check F  compare cycles/sec per suite against
  *                                  the `suites` object in JSON file F;
  *                                  exit 1 on >25% regression (override
@@ -56,9 +68,13 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/slice.hh"
+#include "sim/trace.hh"
 #include "workloads/factory.hh"
 
 // --------------------------------------------------------------------------
@@ -212,8 +228,16 @@ faultCampaignGrid()
 std::vector<RunConfig>
 smokeGrid()
 {
-    return {makeRunConfig(WorkloadKind::kBTree, PersistMode::kLogPSf, true,
-                          256, 0.25)};
+    // Two cells so the suite has a steady-state tail: the first run warms
+    // the pools (warmupAllocations), the second measures what the steady
+    // state still allocates. Seeds only -- same machine, same op mix.
+    RunConfig cfg = makeRunConfig(WorkloadKind::kBTree,
+                                  PersistMode::kLogPSf, true, 256, 0.25);
+    std::vector<RunConfig> grid;
+    grid.push_back(cfg);
+    cfg.params.seed = 43;
+    grid.push_back(cfg);
+    return grid;
 }
 
 std::vector<RunConfig>
@@ -232,6 +256,101 @@ smokeAccountGrid()
     for (RunConfig &cfg : grid)
         cfg.account.enabled = true;
     return grid;
+}
+
+/**
+ * One long, fully observed run: every expensive observer attached, so
+ * the sliced path has real observer work to overlap.
+ */
+RunConfig
+singleRunConfig()
+{
+    RunConfig cfg =
+        makeRunConfig(WorkloadKind::kBTree, PersistMode::kLogPSf, true);
+    // Long enough that simulation dominates the (serial) functional
+    // setup -- the Amdahl term both paths pay -- so the sliced speedup
+    // measures the pipeline, not the fast-forward.
+    cfg.params.simOps = 12000;
+    cfg.trace.categories = kTraceAll;
+    cfg.audit.enabled = true;
+    cfg.account.enabled = true;
+    return cfg;
+}
+
+/** Everything the run produced, as one comparable string. */
+std::string
+runFingerprint(const RunResult &r)
+{
+    return statsCsvRow("", r.stats) + "|" + r.trace.toJson() + "|" +
+        r.audit.toJson() + "|" + r.account.toJson() + "|" +
+        std::to_string(r.durable.hash()) + "|" +
+        std::to_string(r.functionalGeneration);
+}
+
+template <typename Fn>
+SuiteResult
+timeSingleRun(const std::string &name, Fn &&fn, std::string *fingerprint)
+{
+    SuiteResult result;
+    result.name = name;
+    result.runs = 1;
+    uint64_t allocs0 = g_allocations.load(std::memory_order_relaxed);
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult run = fn();
+    auto t1 = std::chrono::steady_clock::now();
+    result.simCycles = run.stats.cycles;
+    result.transHits =
+        run.perf.volatileTransHits + run.perf.durableTransHits;
+    result.transMisses =
+        run.perf.volatileTransMisses + run.perf.durableTransMisses;
+    result.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    result.allocations =
+        g_allocations.load(std::memory_order_relaxed) - allocs0;
+    result.warmupAllocations = result.allocations;
+    *fingerprint = runFingerprint(run);
+    return result;
+}
+
+void printSuite(const SuiteResult &s);
+
+/**
+ * Run the single_run pair and append both suites. The byte-identity of
+ * the sliced result is a hard gate: a divergence is a correctness bug,
+ * not a perf regression, so it fails the bench immediately.
+ *
+ * @retval false the sliced run diverged from the serial one.
+ */
+bool
+runSingleRunSuites(std::vector<SuiteResult> &results)
+{
+    RunConfig cfg = singleRunConfig();
+    std::string serialFp, slicedFp;
+    results.push_back(timeSingleRun(
+        "single_run_serial", [&] { return runExperiment(cfg); },
+        &serialFp));
+    printSuite(results.back());
+    double serialWall = results.back().wallSeconds;
+
+    SliceOptions opts;
+    opts.workers = 8;
+    results.push_back(timeSingleRun(
+        "single_run_sliced",
+        [&] { return runSlicedExperiment(cfg, opts); }, &slicedFp));
+    printSuite(results.back());
+
+    if (serialFp != slicedFp) {
+        std::fprintf(stderr,
+                     "single_run: sliced result DIVERGED from serial "
+                     "(stats/trace/audit/account/image must be "
+                     "byte-identical)\n");
+        return false;
+    }
+    double slicedWall = results.back().wallSeconds;
+    std::printf("single_run      sliced == serial (byte-identical); "
+                "speedup %.2fx at %u workers\n",
+                slicedWall > 0 ? serialWall / slicedWall : 0.0,
+                opts.workers);
+    return true;
 }
 
 SuiteResult
@@ -348,12 +467,18 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
 
     int failures = 0;
     const SuiteResult *smoke = nullptr;
+    const SuiteResult *singleSerial = nullptr;
+    const SuiteResult *singleSliced = nullptr;
     std::vector<const SuiteResult *> observerCells;
     for (const SuiteResult &s : measured) {
         if (s.name == "smoke")
             smoke = &s;
         else if (s.name == "smoke_audit" || s.name == "smoke_account")
             observerCells.push_back(&s);
+        else if (s.name == "single_run_serial")
+            singleSerial = &s;
+        else if (s.name == "single_run_sliced")
+            singleSliced = &s;
     }
     for (const SuiteResult &s : measured) {
         double baseline = 0;
@@ -376,7 +501,12 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
         // per-op container shows up here long before it costs enough
         // wall time to trip the throughput envelope.
         double allocBase = 0;
-        if (extractSuiteField(json, s.name, "allocations", &allocBase)) {
+        // single_run_sliced allocates from worker threads whose queue
+        // depth (hence deque-segment count) depends on scheduling, so
+        // its allocation count is the one nondeterministic one -- not
+        // gated.
+        if (s.name != "single_run_sliced" &&
+            extractSuiteField(json, s.name, "allocations", &allocBase)) {
             double measuredAllocs = static_cast<double>(s.allocations);
             bool allocOk =
                 measuredAllocs <= allocBase * (1.0 + allocTolerance);
@@ -418,6 +548,45 @@ checkAgainstBaseline(const std::vector<SuiteResult> &measured,
         if (!ok)
             ++failures;
     }
+
+    // The parallel-in-time speedup gate: sliced must beat serial by the
+    // target factor. Only meaningful where the 8 slice workers can
+    // actually run in parallel; on smaller hosts the ratio is reported
+    // but not gated (it would only measure oversubscription overhead).
+    if (singleSerial && singleSliced) {
+        double required = 2.0;
+        if (const char *env = std::getenv("SP_BENCH_SLICE_SPEEDUP")) {
+            double v = std::strtod(env, nullptr);
+            if (v > 0)
+                required = v;
+        }
+        double speedup = singleSerial->wallSeconds > 0
+            ? singleSerial->wallSeconds / singleSliced->wallSeconds
+            : 0.0;
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw >= 8) {
+            bool ok = speedup >= required;
+            std::printf("check single_run      %.2fx sliced speedup vs "
+                        "required %.2fx  %s\n",
+                        speedup, required,
+                        ok ? "ok" : "SPEEDUP REGRESSION");
+            if (!ok)
+                ++failures;
+        } else {
+            std::printf("check single_run      %.2fx sliced speedup "
+                        "(gate skipped: %u hardware threads < 8)\n",
+                        speedup, hw);
+        }
+        if (singleSerial->simCycles != singleSliced->simCycles) {
+            std::printf("check single_run      sliced simulated %llu "
+                        "cycles vs serial %llu  DIVERGED\n",
+                        static_cast<unsigned long long>(
+                            singleSliced->simCycles),
+                        static_cast<unsigned long long>(
+                            singleSerial->simCycles));
+            ++failures;
+        }
+    }
     return failures == 0 ? 0 : 1;
 }
 
@@ -427,6 +596,7 @@ int
 main(int argc, char **argv)
 {
     bool smokeOnly = false;
+    bool singleRunOnly = false;
     std::string checkPath;
     std::string outPath = "BENCH_perf.json";
     bool outPathSet = false;
@@ -434,6 +604,8 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--smoke") {
             smokeOnly = true;
+        } else if (arg == "--single-run") {
+            singleRunOnly = true;
         } else if (arg == "--check" && i + 1 < argc) {
             checkPath = argv[++i];
         } else if (arg == "--out" && i + 1 < argc) {
@@ -441,7 +613,8 @@ main(int argc, char **argv)
             outPathSet = true;
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--smoke] [--check FILE] [--out FILE]\n";
+                      << " [--smoke] [--single-run] [--check FILE] "
+                         "[--out FILE]\n";
             return 2;
         }
     }
@@ -451,19 +624,26 @@ main(int argc, char **argv)
         outPath.clear();
 
     std::vector<SuiteResult> results;
-    if (!smokeOnly) {
+    if (!smokeOnly && !singleRunOnly) {
         results.push_back(runSuite("seed_sweep", seedSweepGrid()));
         printSuite(results.back());
         results.push_back(runSuite("fault_campaign", faultCampaignGrid()));
         printSuite(results.back());
     }
-    results.push_back(runSmokeBestOf(3, "smoke", smokeGrid()));
-    printSuite(results.back());
-    results.push_back(runSmokeBestOf(3, "smoke_audit", smokeAuditGrid()));
-    printSuite(results.back());
-    results.push_back(
-        runSmokeBestOf(3, "smoke_account", smokeAccountGrid()));
-    printSuite(results.back());
+    if (!singleRunOnly) {
+        results.push_back(runSmokeBestOf(3, "smoke", smokeGrid()));
+        printSuite(results.back());
+        results.push_back(
+            runSmokeBestOf(3, "smoke_audit", smokeAuditGrid()));
+        printSuite(results.back());
+        results.push_back(
+            runSmokeBestOf(3, "smoke_account", smokeAccountGrid()));
+        printSuite(results.back());
+    }
+    if (!smokeOnly) {
+        if (!runSingleRunSuites(results))
+            return 1;
+    }
 
     if (!outPath.empty()) {
         std::ofstream out(outPath);

@@ -18,6 +18,8 @@
  *         [--audit[=FILE]] [--cycle-account[=FILE]]
  *         [--checksums] [--media-faults[=N]]
  *         [--fault-class=ecc|silent|mixed] [--scrub=CYCLES]
+ *         [--slices[=WORKERS]] [--snapshot=FILE --snapshot-at=CYCLE]
+ *         [--resume=FILE] [--sampled[=WINDOWS]]
  *
  * Exit status: 0 on success; 1 when a run or verdict fails (audit
  * violations, campaign FAILED); 2 on a usage error (unknown flag, bad
@@ -80,6 +82,21 @@
  *                       file export, "all" for --trace text)
  *   --sample-every=N    occupancy-sampler period in cycles (default 64)
  *
+ * Parallel-in-time (harness/slice.hh):
+ *   --slices[=W]        run the experiment sliced across W workers
+ *                       (default: automatic) -- the producer snapshots
+ *                       quiescent boundaries while trailing workers
+ *                       replay slices with observers attached; the
+ *                       result is byte-identical to the serial run
+ *   --snapshot=FILE     write a whole-simulator snapshot to FILE at
+ *                       --snapshot-at=CYCLE, then keep running
+ *   --resume=FILE       restore FILE (taken under the SAME flags) and
+ *                       run to completion; bit-identical to the
+ *                       uninterrupted run
+ *   --sampled[=N]       SMARTS-style sampled ESTIMATE from N windows
+ *                       (default 16) with a 95% confidence interval;
+ *                       with --cycle-account also estimates CPI shares
+ *
  * Examples:
  *   spcli --workload BT --sp --ssb 128
  *   spcli --workload SS --mode logp --ops 5000
@@ -97,10 +114,13 @@
 #include <string>
 
 #include "harness/campaign.hh"
+#include "harness/machine.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/slice.hh"
 #include "harness/table.hh"
 #include "pmem/recovery.hh"
+#include "sim/snapshot.hh"
 #include "sim/trace.hh"
 
 using namespace sp;
@@ -128,6 +148,9 @@ usage(const char *msg = nullptr)
         "             [--audit[=FILE]] [--cycle-account[=FILE]]\n"
         "             [--checksums] [--media-faults[=N]]\n"
         "             [--fault-class=ecc|silent|mixed] [--scrub=CYCLES]\n"
+        "             [--slices[=WORKERS]]\n"
+        "             [--snapshot=FILE --snapshot-at=CYCLE]\n"
+        "             [--resume=FILE] [--sampled[=WINDOWS]]\n"
         "\n"
         "  --audit      durability audit of the retired op stream\n"
         "               (missing/late clwb, unordered flushes, redundant\n"
@@ -142,6 +165,12 @@ usage(const char *msg = nullptr)
         "               image (needs --crash-at or --crash-matrix)\n"
         "  --fault-class  ecc | silent | mixed fault population\n"
         "  --scrub=CYCLES  patrol-scrubber period for ECC faults\n"
+        "  --slices[=W]  exact parallel-in-time run (byte-identical to\n"
+        "               serial); pair with --trace-categories for the\n"
+        "               merged trace summary\n"
+        "  --snapshot=FILE --snapshot-at=CYCLE  checkpoint mid-run\n"
+        "  --resume=FILE  restore a snapshot (same flags!) and continue\n"
+        "  --sampled[=N]  sampled cycle ESTIMATE with 95% CI\n"
         "\n"
         "exit status: 0 ok; 1 run/verdict failure; 2 usage error\n";
     std::exit(msg ? 2 : 0);
@@ -180,6 +209,13 @@ main(int argc, char **argv)
     bool media = false;
     bool fault_class_given = false;
     bool scrub_given = false;
+    bool sliced = false;
+    unsigned slice_workers = 0;
+    std::string snapshot_file;
+    Tick snapshot_at = 0;
+    std::string resume_file;
+    bool sampled = false;
+    unsigned sampled_windows = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -346,6 +382,32 @@ main(int argc, char **argv)
             scrub_given = true;
             cfg.sim.fault.media.scrubInterval =
                 parseNum(value().c_str(), "--scrub");
+        } else if (flag == "--slices") {
+            sliced = true;
+            if (has_inline) {
+                slice_workers = static_cast<unsigned>(
+                    parseNum(inline_value.c_str(), "--slices"));
+            }
+        } else if (flag == "--snapshot") {
+            snapshot_file = value();
+            if (snapshot_file.empty())
+                usage("--snapshot needs a file name");
+        } else if (flag == "--snapshot-at") {
+            snapshot_at = parseNum(value().c_str(), "--snapshot-at");
+            if (snapshot_at == 0)
+                usage("--snapshot-at needs a cycle > 0");
+        } else if (flag == "--resume") {
+            resume_file = value();
+            if (resume_file.empty())
+                usage("--resume needs a file name");
+        } else if (flag == "--sampled") {
+            sampled = true;
+            if (has_inline) {
+                sampled_windows = static_cast<unsigned>(
+                    parseNum(inline_value.c_str(), "--sampled"));
+                if (sampled_windows == 0)
+                    usage("--sampled needs at least one window");
+            }
         } else {
             usage(("unknown flag " + flag).c_str());
         }
@@ -363,6 +425,35 @@ main(int argc, char **argv)
         usage("--media-faults corrupts a crash image; add --crash-at "
               "CYCLE or --crash-matrix=N");
     cfg.sim.fault.media.seed = cfg.params.seed;
+
+    // The parallel-in-time entry points are whole-run modes; combinations
+    // that would need a different entry point are usage errors.
+    bool tracing_flags =
+        trace_text || !trace_file.empty() || !trace_csv_file.empty();
+    if (static_cast<int>(sliced) + static_cast<int>(sampled) +
+            static_cast<int>(!resume_file.empty()) >
+        1) {
+        usage("--slices, --sampled, and --resume are exclusive modes");
+    }
+    if ((sliced || sampled || !resume_file.empty()) &&
+        !snapshot_file.empty()) {
+        usage("--snapshot checkpoints a plain serial run; drop "
+              "--slices/--sampled/--resume");
+    }
+    if (snapshot_file.empty() != (snapshot_at == 0))
+        usage("--snapshot and --snapshot-at go together");
+    if ((sliced || sampled || !resume_file.empty() ||
+         !snapshot_file.empty()) &&
+        (crash_at != 0 || crash_matrix != 0)) {
+        usage("crash injection uses the plain serial path; drop "
+              "--slices/--sampled/--snapshot/--resume");
+    }
+    if (sliced && tracing_flags)
+        usage("--slices replays with per-slice summary tracers; use "
+              "--trace-categories=LIST for the merged summary");
+    if (sampled && (tracing_flags || trace_cats != 0 || audit))
+        usage("--sampled estimates cycles (and CPI shares with "
+              "--cycle-account); tracing and audit need an exact run");
 
     if (crash_matrix != 0) {
         // Campaign mode: a crash matrix (plus conflict cells when the
@@ -469,7 +560,50 @@ main(int argc, char **argv)
             tracer->setTextSink(&std::cout);
     }
 
-    RunResult r = runExperiment(cfg, crash_at, tracer.get());
+    if (sampled) {
+        SampledOptions sopts;
+        if (sampled_windows != 0)
+            sopts.samples = sampled_windows;
+        SampledEstimate est = runSampledExperiment(cfg, sopts);
+        est.print(std::cout);
+        std::cout << "sampled estimate: " << est.toJson() << "\n";
+        return 0;
+    }
+
+    RunResult r;
+    if (sliced) {
+        // Exact parallel-in-time run; optional merged trace summary.
+        cfg.trace.categories = trace_cats;
+        if (sample_every != 0)
+            cfg.trace.sampleEvery = sample_every;
+        SliceOptions sopts;
+        sopts.workers = slice_workers;
+        r = runSlicedExperiment(cfg, sopts);
+        if (cfg.trace.categories != 0) {
+            std::cout << "trace summary: " << r.trace.toJson()
+                      << "\n\n";
+        }
+    } else if (!resume_file.empty()) {
+        SimSnapshot snap = SimSnapshot::readFile(resume_file);
+        std::cout << "resuming " << resume_file << " at tick "
+                  << snap.tick << "\n";
+        // deferSetup: the snapshot carries the functional state, so the
+        // fast-forward would be wasted work.
+        Machine machine(cfg, tracer.get(), /*deferSetup=*/true);
+        machine.restoreSnapshot(snap);
+        machine.runUntil(kTickNever);
+        r = machine.finish();
+    } else if (!snapshot_file.empty()) {
+        Machine machine(cfg, tracer.get());
+        machine.runUntil(snapshot_at);
+        machine.takeSnapshot().writeFile(snapshot_file);
+        std::cout << "snapshot: wrote " << snapshot_file << " at tick "
+                  << machine.now() << "\n";
+        machine.runUntil(kTickNever);
+        r = machine.finish();
+    } else {
+        r = runExperiment(cfg, crash_at, tracer.get());
+    }
     std::cout << "outcome: " << runOutcomeName(r.outcome) << "\n\n";
 
     if (crash_at != 0 && !r.completed &&

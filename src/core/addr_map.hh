@@ -79,6 +79,20 @@ class AddrSet
     size_t size() const { return count_; }
     bool empty() const { return count_ == 0; }
 
+    /**
+     * Visit every live key (slot order, not insertion order). Used by
+     * snapshot save; membership is order-independent, so restoring by
+     * re-inserting the visited keys reproduces identical behaviour.
+     */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_) {
+            if (slot.gen == gen_)
+                fn(slot.key);
+        }
+    }
+
     void clear()
     {
         count_ = 0;

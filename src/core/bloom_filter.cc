@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 // Configure-time probe-path selection: SP_BLOOM_FORCE_SCALAR (CMake
 // option SP_BLOOM_SCALAR) pins the scalar path; otherwise the widest
@@ -208,6 +209,22 @@ BloomFilter::popcount() const
     for (uint64_t w : words_)
         n += static_cast<unsigned>(std::popcount(w));
     return n;
+}
+
+void
+BloomFilter::saveState(SnapshotWriter &w) const
+{
+    w.putTag("BLOM");
+    w.putPodVec(words_);
+}
+
+void
+BloomFilter::restoreState(SnapshotReader &r)
+{
+    r.checkTag("BLOM");
+    size_t nWords = words_.size();
+    r.getPodVec(words_);
+    SP_ASSERT(words_.size() == nWords, "snapshot bloom geometry mismatch");
 }
 
 } // namespace sp

@@ -33,6 +33,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Block-address Bloom filter with k independent hash functions. */
 class BloomFilter
 {
@@ -59,6 +62,10 @@ class BloomFilter
 
     /** "sse2", "neon", or "scalar": which probe path this build uses. */
     static const char *probeImpl();
+
+    /** Snapshot visitors: bit array only (geometry is config-derived). */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     /** Packed bit storage, sizeBits_ bits rounded up to whole words. */

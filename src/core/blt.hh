@@ -15,6 +15,7 @@
 #include <cstddef>
 
 #include "core/addr_map.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace sp
@@ -43,6 +44,29 @@ class BlockLookupTable
     void clear() { blocks_.clear(); }
 
     size_t size() const { return blocks_.size(); }
+
+    /**
+     * Snapshot visitors: the membership set. Save order is slot order;
+     * restore re-inserts, which is equivalent because the table only
+     * answers contains() and grows at deterministic occupancy points.
+     */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.putTag("BLT ");
+        w.putPod<uint64_t>(blocks_.size());
+        blocks_.forEach([&w](Addr key) { w.putPod(key); });
+    }
+
+    void
+    restoreState(SnapshotReader &r)
+    {
+        r.checkTag("BLT ");
+        blocks_.clear();
+        uint64_t n = r.getPod<uint64_t>();
+        for (uint64_t i = 0; i < n; ++i)
+            blocks_.insert(r.getPod<Addr>());
+    }
 
   private:
     AddrSet blocks_;

@@ -1,6 +1,7 @@
 #include "core/checkpoint.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -48,6 +49,27 @@ CheckpointBuffer::reset()
     for (auto &entry : entries_)
         entry.valid = false;
     inUse_ = 0;
+}
+
+void
+CheckpointBuffer::saveState(SnapshotWriter &w) const
+{
+    static_assert(std::is_trivially_copyable<Entry>::value,
+                  "CheckpointBuffer::Entry must stay trivially copyable");
+    w.putTag("CKPT");
+    w.putPodVec(entries_);
+    w.putPod(inUse_);
+}
+
+void
+CheckpointBuffer::restoreState(SnapshotReader &r)
+{
+    r.checkTag("CKPT");
+    size_t capacity = entries_.size();
+    r.getPodVec(entries_);
+    SP_ASSERT(entries_.size() == capacity,
+              "snapshot checkpoint capacity mismatch");
+    r.getPod(inUse_);
 }
 
 } // namespace sp

@@ -19,6 +19,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Fixed pool of architectural checkpoints. */
 class CheckpointBuffer
 {
@@ -52,6 +55,10 @@ class CheckpointBuffer
 
     /** Release every checkpoint (abort handling / speculation exit). */
     void reset();
+
+    /** Snapshot visitors: entry array (slot order matters) + count. */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     struct Entry

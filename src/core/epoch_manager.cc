@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -290,6 +291,49 @@ EpochManager::collectPoolStats(std::vector<PoolStat> &out) const
 {
     out.push_back(epochs_.stat("epochs.queue"));
     out.push_back(flushPool_.stat("epochs.flushPool"));
+}
+
+void
+EpochManager::saveState(SnapshotWriter &w) const
+{
+    w.putTag("EPCH");
+    w.putPod<uint64_t>(epochs_.size());
+    for (size_t i = 0; i < epochs_.size(); ++i) {
+        const Epoch &epoch = epochs_[i];
+        w.putPod(epoch.id);
+        w.putPod(epoch.checkpointIdx);
+        w.putPodVec(epoch.flushes);
+        w.putPod(epoch.isFirst);
+        w.putPod(epoch.closed);
+    }
+    w.putPod(nextEpochId_);
+    w.putPod(preSpecDrained_);
+    w.putPod(strictWaitFlush_);
+    w.putPod(drainBusyUntil_);
+}
+
+void
+EpochManager::restoreState(SnapshotReader &r)
+{
+    r.checkTag("EPCH");
+    for (size_t i = 0; i < epochs_.size(); ++i)
+        recycleFlushes(epochs_[i]);
+    epochs_.clear();
+    uint64_t n = r.getPod<uint64_t>();
+    for (uint64_t i = 0; i < n; ++i) {
+        Epoch epoch;
+        r.getPod(epoch.id);
+        r.getPod(epoch.checkpointIdx);
+        epoch.flushes = flushPool_.take();
+        r.getPodVec(epoch.flushes);
+        r.getPod(epoch.isFirst);
+        r.getPod(epoch.closed);
+        epochs_.push_back(std::move(epoch));
+    }
+    r.getPod(nextEpochId_);
+    r.getPod(preSpecDrained_);
+    r.getPod(strictWaitFlush_);
+    r.getPod(drainBusyUntil_);
 }
 
 } // namespace sp

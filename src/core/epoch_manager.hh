@@ -40,6 +40,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Orchestrates speculative epochs and their in-order commit. */
 class EpochManager
 {
@@ -143,6 +146,13 @@ class EpochManager
 
     /** Append epoch-queue and flush-pool capacity/high-water stats. */
     void collectPoolStats(std::vector<PoolStat> &out) const;
+
+    /** No live epochs (no open epoch trace spans): slice-safe point. */
+    bool idle() const { return epochs_.empty(); }
+
+    /** Snapshot visitors: live epochs + ids and drain bookkeeping. */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     struct Epoch

@@ -1,6 +1,7 @@
 #include "core/ssb.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -102,6 +103,31 @@ SpeculativeStoreBuffer::collectPoolStats(std::vector<PoolStat> &out) const
 {
     out.push_back(entries_.stat("ssb.entries"));
     out.push_back(epochIds_.stat("ssb.epochRuns"));
+}
+
+void
+SpeculativeStoreBuffer::saveState(SnapshotWriter &w) const
+{
+    w.putTag("SSB ");
+    w.putRing(entries_);
+}
+
+void
+SpeculativeStoreBuffer::restoreState(SnapshotReader &r)
+{
+    r.checkTag("SSB ");
+    RingDeque<SsbEntry> entries;
+    r.getRing(entries);
+    // Re-push through the normal path so the byte-coverage index and
+    // the epoch run-length view are rebuilt by the same code that
+    // maintains them online; the tracer is detached so the rebuild
+    // publishes nothing.
+    Tracer *tracer = tracer_;
+    tracer_ = nullptr;
+    clear();
+    for (size_t i = 0; i < entries.size(); ++i)
+        push(entries[i]);
+    tracer_ = tracer;
 }
 
 } // namespace sp

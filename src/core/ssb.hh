@@ -26,6 +26,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Kinds of entries buffered in the SSB. */
 enum class SsbEntryType : uint8_t
 {
@@ -110,6 +113,14 @@ class SpeculativeStoreBuffer
 
     /** Append buffer capacity/high-water stats. */
     void collectPoolStats(std::vector<PoolStat> &out) const;
+
+    /**
+     * Snapshot visitors: entries in FIFO order. Restore re-pushes them
+     * (tracer detached), rebuilding the coverage index and the epoch
+     * run-length view through the same invariant-preserving path.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     unsigned capacity_;

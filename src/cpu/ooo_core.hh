@@ -58,6 +58,9 @@
 namespace sp
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** The simulated core: owns the SP structures, drives the whole machine. */
 class OooCore
 {
@@ -187,6 +190,29 @@ class OooCore
      * appended to `out`. Cheap: reads counters the pools keep anyway.
      */
     void collectPoolStats(std::vector<PoolStat> &out) const;
+
+    /**
+     * A quiescent cut point for slice-parallel replay: not speculating,
+     * no post-abort drain in progress, retirement not fence-blocked, no
+     * open fence-stall span, no live epochs, and no pcommit flush
+     * pending in the memory system. At such a point every trace span
+     * and every cycle-account ledger episode is closed, so per-slice
+     * observer results partition the serial stream exactly.
+     */
+    bool quiescent() const;
+
+    /**
+     * Snapshot visitors for the core and everything it owns (SSB,
+     * checkpoints, Bloom, BLT, epochs, replay window, pipeline queues,
+     * probe schedule, governor). External structures (caches, memory
+     * system, program source) are visited by their owners; observer
+     * pointers are re-attached before restoreState() runs, and the
+     * interval sampler's next firing tick is recomputed from the
+     * attached tracer so a restored run samples at the identical
+     * absolute ticks.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     /** One in-flight dynamic micro-op. */

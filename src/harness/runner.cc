@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "harness/machine.hh"
 #include "harness/sweep.hh"
 
 #include "cpu/ooo_core.hh"
@@ -143,122 +144,12 @@ describeRunConfig(const RunConfig &cfg)
 RunResult
 runExperiment(const RunConfig &cfg, Tick crashAtCycle, Tracer *tracer)
 {
-    validateRunConfig(cfg);
-    RunResult result;
-
-    // Per-run tracer, created only when the config asks for one and the
-    // caller did not supply its own. Summary-only: sweeps aggregate the
-    // TraceSummary, so the event vector would be dead weight.
-    std::unique_ptr<Tracer> owned;
-    if (!tracer && cfg.trace.categories != 0) {
-        TraceOptions opts = cfg.trace;
-        opts.retainEvents = false;
-        owned = std::make_unique<Tracer>(opts);
-        tracer = owned.get();
-    }
-
-    auto workload = makeWorkload(cfg.kind, cfg.params);
-    workload->setup();
-
-    // The populated structure is assumed durable at the start of the
-    // measured phase: snapshot the functional image into the NVMM.
-    result.durable = workload->image();
-
-    MemSystem mc(cfg.sim.mem, result.durable);
-    CacheHierarchy caches(cfg.sim, mc);
-    mc.setStats(&result.stats);
-    caches.setStats(&result.stats);
-    if (cfg.sim.fault.crash.pcommitJitterCycles != 0) {
-        mc.setWriteJitter(cfg.sim.fault.crash.pcommitJitterCycles,
-                          cfg.sim.fault.crash.seed);
-    }
-
-    OooCore core(cfg.sim, workload->program(), caches, mc,
-                 result.stats);
-    if (tracer)
-        core.setTracer(tracer);
-    std::unique_ptr<DurabilityAuditor> auditor;
-    if (cfg.audit.enabled) {
-        auditor = std::make_unique<DurabilityAuditor>(
-            cfg.audit, cfg.sim.mem.numMemCtrls);
-        core.setAuditor(auditor.get());
-    }
-    std::unique_ptr<CycleAccountant> accountant;
-    if (cfg.account.enabled) {
-        accountant = std::make_unique<CycleAccountant>();
-        core.setAccountant(accountant.get());
-    }
-    if (cfg.probePeriod != 0) {
-        // Target the hot region: workload metadata, the undo log, and the
-        // first stretch of the heap -- where speculative writes live.
-        core.enablePeriodicProbes(cfg.probePeriod, kMetaBase,
-                                  kHeapBase + (4u << 20) - kMetaBase,
-                                  cfg.probeSeed);
-    }
-    std::unique_ptr<ConflictInjector> injector;
-    if (cfg.sim.fault.conflict.enabled) {
-        // Default footprint: the same hot region periodic probes target.
-        Addr base = cfg.sim.fault.conflict.footprintBase
-            ? cfg.sim.fault.conflict.footprintBase
-            : kMetaBase;
-        uint64_t bytes = cfg.sim.fault.conflict.footprintBytes
-            ? cfg.sim.fault.conflict.footprintBytes
-            : kHeapBase + (4u << 20) - kMetaBase;
-        injector = std::make_unique<ConflictInjector>(
-            cfg.sim.fault.conflict, base, bytes);
-        core.setConflictInjector(injector.get());
-    }
-
-    Tick limit = crashAtCycle != 0 ? crashAtCycle : kTickNever;
-    result.completed = core.runUntil(limit);
-    if (result.completed) {
-        result.outcome = result.stats.watchdogDegradations > 0
-            ? RunOutcome::kWatchdogDegraded
-            : RunOutcome::kOk;
-    } else if (core.hitMaxCycles()) {
-        result.outcome = RunOutcome::kMaxCycles;
-    } else {
-        result.outcome = RunOutcome::kCrashed;
-    }
-
-    result.functionalGeneration = Workload::generation(workload->image());
-    // On a completed run, drain the hierarchy so the durable image holds
-    // the final state (clean shutdown); on a crash, everything volatile
-    // is lost and result.durable stays exactly as the device left it --
-    // except that a FIFO prefix of the pending writes may land, with the
-    // boundary write torn at word granularity (see applyTornWrites).
-    if (result.completed) {
-        caches.writebackAll();
-        mc.drainAll();
-    } else if (result.outcome == RunOutcome::kCrashed &&
-               cfg.sim.fault.crash.tornWrites) {
-        mc.applyTornWrites(cfg.sim.fault.crash.seed ^ crashAtCycle);
-    }
-    // Media faults land last: they model the NVMM cells themselves
-    // degrading, so they corrupt whatever image the crash (including
-    // torn writes) actually left behind.
-    if (result.outcome == RunOutcome::kCrashed &&
-        cfg.sim.fault.media.enabled) {
-        result.mediaFaults = planMediaFaults(
-            cfg.sim.fault.media, result.durable, result.stats.cycles);
-        applyMediaFaults(result.durable, result.mediaFaults);
-    }
-    if (tracer)
-        result.trace = tracer->summary();
-    // finalize() asserts the exhaustiveness identity against the run's
-    // final cycle count, whatever way the run ended (ok/crash/maxCycles).
-    if (accountant)
-        result.account = accountant->finalize(result.stats.cycles);
-    // finalize() last: with failOnViolation it throws, and the sweep's
-    // failure record should describe a fully assembled run.
-    if (auditor)
-        result.audit = auditor->finalize();
-    core.collectPoolStats(result.perf.pools);
-    result.perf.volatileTransHits = workload->image().translationHits();
-    result.perf.volatileTransMisses = workload->image().translationMisses();
-    result.perf.durableTransHits = result.durable.translationHits();
-    result.perf.durableTransMisses = result.durable.translationMisses();
-    return result;
+    // The assembly, run, and teardown all live in Machine now (so
+    // snapshot/slice callers share them); this wrapper is the
+    // bit-identical classic entry point.
+    Machine machine(cfg, tracer);
+    machine.runUntil(crashAtCycle != 0 ? crashAtCycle : kTickNever);
+    return machine.finish(crashAtCycle);
 }
 
 void

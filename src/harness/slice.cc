@@ -1,0 +1,420 @@
+#include "harness/slice.hh"
+
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/machine.hh"
+#include "harness/sweep.hh"
+#include "sim/logging.hh"
+
+namespace sp
+{
+
+namespace
+{
+
+/** One boundary-to-boundary unit of replay work. */
+struct PendingSlice
+{
+    SimSnapshot snap;
+    /** Replay target; kTickNever on the final slice (run to done). */
+    Tick endTick = kTickNever;
+    size_t index = 0;
+};
+
+/** What a replayed slice contributes to the merged result. */
+struct SliceResult
+{
+    TraceSummary trace;
+    CycleAccount account;
+    Tick startTick = 0;
+    Tick endTick = 0;
+};
+
+/** Producer/replayer handoff: a bounded, in-order ready queue. */
+struct SliceQueue
+{
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<PendingSlice> ready;
+    std::vector<SliceResult> results;
+    bool producerDone = false;
+    bool aborted = false;
+
+    void
+    push(PendingSlice slice, size_t backlog)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock,
+                [&] { return aborted || ready.size() < backlog; });
+        if (aborted)
+            throw std::runtime_error("slice replay worker failed");
+        results.resize(slice.index + 1);
+        ready.push_back(std::move(slice));
+        cv.notify_all();
+    }
+
+    /** False when the stream ended (or aborted) and nothing is left. */
+    bool
+    pop(PendingSlice &out)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] {
+            return aborted || producerDone || !ready.empty();
+        });
+        if (aborted || ready.empty())
+            return false;
+        out = std::move(ready.front());
+        ready.pop_front();
+        cv.notify_all();
+        return true;
+    }
+
+    void
+    finishProducing()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        producerDone = true;
+        cv.notify_all();
+    }
+
+    void
+    abort()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        aborted = true;
+        cv.notify_all();
+    }
+
+    void
+    store(size_t index, SliceResult result)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        SP_ASSERT(index < results.size(), "slice result out of range");
+        results[index] = std::move(result);
+    }
+};
+
+/** Advance to the next quiescent cut at or after `target` (or done). */
+void
+advanceToQuiescence(Machine &machine, Tick target)
+{
+    bool complete = machine.runUntil(target);
+    while (!complete && !machine.quiescent())
+        complete = machine.runUntil(machine.now() + 1);
+}
+
+} // namespace
+
+RunResult
+runSlicedExperiment(const RunConfig &cfg, const SliceOptions &opts)
+{
+    unsigned workers =
+        opts.workers != 0 ? opts.workers : SweepEngine::defaultWorkers();
+    if (workers <= 1)
+        return runExperiment(cfg);
+    SP_ASSERT(opts.targetSlices > 0, "targetSlices must be > 0");
+    SP_ASSERT(opts.minChunkCycles > 0, "minChunkCycles must be > 0");
+
+    // The machine config both sides share: no machine-owned tracer or
+    // accountant (replay workers attach fresh ones per slice; the
+    // producer runs bare). The audit stays wherever the caller put it --
+    // it is cross-slice state, so the producer's serial pass owns it --
+    // and identical configs keep snapshot sections and config stamps in
+    // agreement between producer and replayers.
+    RunConfig machineCfg = cfg;
+    machineCfg.trace.categories = 0;
+    machineCfg.account.enabled = false;
+
+    const bool wantTrace = cfg.trace.categories != 0;
+    const bool wantAccount = cfg.account.enabled;
+
+    SliceQueue queue;
+    const size_t backlog = workers + 2;
+    RunResult result;
+
+    auto producerTask = [&]() {
+        Machine producer(machineCfg);
+        try {
+            size_t index = 0;
+            SimSnapshot pending = producer.takeSnapshot();
+            while (!producer.done()) {
+                // Worker-count-independent schedule: geometric growth
+                // from minChunkCycles toward ~targetSlices slices.
+                Tick target = producer.now() +
+                    std::max<Tick>(opts.minChunkCycles,
+                                   producer.now() / opts.targetSlices);
+                advanceToQuiescence(producer, target);
+                if (producer.done())
+                    break;
+                Tick boundary = producer.now();
+                queue.push({std::move(pending), boundary, index},
+                           backlog);
+                ++index;
+                pending = producer.takeSnapshot();
+            }
+            queue.push({std::move(pending), kTickNever, index}, backlog);
+            queue.finishProducing();
+        } catch (...) {
+            queue.abort();
+            throw;
+        }
+        // The producer's state is authoritative for everything except
+        // the replayed observers: stats, durable image, outcome, audit,
+        // telemetry.
+        result = producer.finish(0);
+    };
+
+    auto replayTask = [&]() {
+        // One deferred machine per worker, reused across slices:
+        // construction is paid once and restore() skips the functional
+        // fast-forward entirely.
+        Machine machine(machineCfg, nullptr, /*deferSetup=*/true);
+        TraceOptions traceOpts = cfg.trace;
+        traceOpts.retainEvents = false;
+        PendingSlice slice;
+        while (queue.pop(slice)) {
+            try {
+                Tracer tracer(traceOpts);
+                CycleAccountant accountant;
+                // Observers attach before restore: the core re-derives
+                // the interval-sampler schedule from the attached tracer.
+                machine.setTracer(wantTrace ? &tracer : nullptr);
+                machine.setAccountant(wantAccount ? &accountant : nullptr);
+                machine.restoreSnapshot(slice.snap);
+
+                SliceResult out;
+                out.startTick = machine.now();
+                machine.runUntil(slice.endTick);
+                out.endTick = machine.now();
+                if (slice.endTick != kTickNever) {
+                    SP_ASSERT(out.endTick == slice.endTick,
+                              "slice replay missed its boundary: ",
+                              out.endTick, " != ", slice.endTick);
+                }
+                if (wantTrace)
+                    out.trace = tracer.summary();
+                if (wantAccount) {
+                    out.account = accountant.finalize(out.endTick -
+                                                      out.startTick);
+                }
+                machine.setTracer(nullptr);
+                machine.setAccountant(nullptr);
+                queue.store(slice.index, std::move(out));
+            } catch (...) {
+                queue.abort();
+                throw;
+            }
+        }
+        return;
+    };
+
+    SweepOptions engineOpts;
+    engineOpts.workers = workers;
+    SweepEngine engine(engineOpts);
+    // One long-lived task per worker: task 0 produces, the rest replay.
+    // runTasks deals tasks round-robin, one per worker.
+    std::vector<SweepRunResult> taskResults = engine.runTasks(
+        workers, [&](size_t i) -> RunResult {
+            if (i == 0)
+                producerTask();
+            else
+                replayTask();
+            return RunResult{};
+        });
+    for (const SweepRunResult &tr : taskResults) {
+        if (!tr.ok) {
+            throw std::runtime_error("sliced run failed: " + tr.error);
+        }
+    }
+
+    // Merge in slice order: summaries and accounts partition the serial
+    // stream at quiescent cuts, so ordered merging reproduces the serial
+    // observer results exactly.
+    TraceSummary mergedTrace;
+    CycleAccount mergedAccount;
+    Tick accounted = 0;
+    for (const SliceResult &slice : queue.results) {
+        mergedTrace.merge(slice.trace);
+        mergedAccount.merge(slice.account);
+        accounted += slice.endTick - slice.startTick;
+    }
+    if (wantTrace)
+        result.trace = mergedTrace;
+    if (wantAccount) {
+        SP_ASSERT(accounted == result.stats.cycles,
+                  "sliced account does not cover the run: ", accounted,
+                  " != ", result.stats.cycles);
+        result.account = mergedAccount;
+    }
+    return result;
+}
+
+// --------------------------------------------------------------------------
+// Sampled measurement
+// --------------------------------------------------------------------------
+
+std::string
+SampledEstimate::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"totalOps\":" << totalOps << ",\"windows\":" << windows.size()
+       << ",\"meanCyclesPerOp\":" << meanCyclesPerOp
+       << ",\"ciCyclesPerOp\":" << ciCyclesPerOp
+       << ",\"estimatedCycles\":" << estimatedCycles
+       << ",\"ciCycles\":" << ciCycles << ",\"hasShares\":"
+       << (hasShares ? "true" : "false");
+    if (hasShares) {
+        os << ",\"categoryShares\":{";
+        for (unsigned c = 0; c < kNumCycleCats; ++c) {
+            if (c)
+                os << ",";
+            os << "\"" << cycleCatName(static_cast<CycleCat>(c))
+               << "\":" << categoryShares[c];
+        }
+        os << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+SampledEstimate::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << "sampled estimate over " << windows.size()
+       << " windows (" << totalOps << " ops total):\n"
+       << prefix << "  cycles/op " << std::fixed << std::setprecision(2)
+       << meanCyclesPerOp << " +/- " << ciCyclesPerOp << " (95% CI)\n"
+       << prefix << "  estimated cycles " << std::setprecision(0)
+       << estimatedCycles << " +/- " << ciCycles << "\n";
+    os.unsetf(std::ios::floatfield);
+    if (hasShares) {
+        os << prefix << "  CPI shares:";
+        for (unsigned c = 0; c < kNumCycleCats; ++c) {
+            if (categoryShares[c] <= 0)
+                continue;
+            os << " " << cycleCatName(static_cast<CycleCat>(c)) << "="
+               << std::fixed << std::setprecision(3) << categoryShares[c];
+            os.unsetf(std::ios::floatfield);
+        }
+        os << "\n";
+    }
+}
+
+SampledEstimate
+runSampledExperiment(const RunConfig &cfg, const SampledOptions &opts)
+{
+    SP_ASSERT(opts.samples > 0, "sampled run needs at least one window");
+    SP_ASSERT(opts.measureOps > 0, "sampled run needs measureOps > 0");
+    const uint64_t window = opts.warmupOps + opts.measureOps;
+    SP_ASSERT(cfg.params.simOps >= window,
+              "simOps smaller than one sample window");
+
+    SampledEstimate est;
+    est.totalOps = cfg.params.simOps;
+    est.windows.resize(opts.samples);
+
+    // Window placement is pure arithmetic over the op stream, so the
+    // estimate is reproducible for any worker count.
+    const uint64_t span = cfg.params.simOps - window;
+    const bool wantShares = cfg.account.enabled;
+    std::vector<std::array<double, kNumCycleCats>> shares(
+        opts.samples);
+
+    auto sampleTask = [&](size_t i) -> RunResult {
+        uint64_t offset = opts.samples > 1
+            ? span * static_cast<uint64_t>(i) / (opts.samples - 1)
+            : 0;
+        RunConfig sampleCfg = cfg;
+        // Functional fast-forward: the offset ops run muted through the
+        // exact doOperation/rng path, so the sampled machine starts from
+        // the precise functional state of the full run at that offset.
+        sampleCfg.params.initOps = cfg.params.initOps + offset;
+        sampleCfg.params.simOps = window;
+        sampleCfg.trace.categories = 0;
+        sampleCfg.audit.enabled = false;
+        sampleCfg.account.enabled = false;
+
+        Machine machine(sampleCfg);
+        CycleAccountant accountant;
+        if (wantShares)
+            machine.setAccountant(&accountant);
+
+        // Detail warm-up: run until warmupOps ops have been generated so
+        // caches/WPQ/SSB reach steady state before measurement.
+        const Tick poll = 4096;
+        while (!machine.done() &&
+               machine.opsGenerated() < opts.warmupOps)
+            machine.runUntil(machine.now() + poll);
+        uint64_t warmOps = machine.opsGenerated();
+        Tick warmTick = machine.now();
+        CycleAccountant warmCopy = accountant;
+
+        machine.runUntil(kTickNever);
+        SampleWindow &w = est.windows[i];
+        w.offsetOps = offset;
+        w.measuredOps = machine.opsGenerated() - warmOps;
+        w.measuredCycles = machine.now() - warmTick;
+        SP_ASSERT(w.measuredOps > 0, "sample window measured no ops");
+        w.cyclesPerOp = static_cast<double>(w.measuredCycles) /
+            static_cast<double>(w.measuredOps);
+
+        if (wantShares) {
+            CycleAccount full = accountant.finalize(machine.now());
+            CycleAccount warm = warmCopy.finalize(warmTick);
+            for (unsigned c = 0; c < kNumCycleCats; ++c) {
+                shares[i][c] = w.measuredCycles
+                    ? static_cast<double>(full.categories[c] -
+                                          warm.categories[c]) /
+                        static_cast<double>(w.measuredCycles)
+                    : 0.0;
+            }
+        }
+        // The sampled machine is measurement scaffolding; its RunResult
+        // is not part of the estimate.
+        return machine.finish(0);
+    };
+
+    SweepOptions engineOpts;
+    engineOpts.workers = opts.workers;
+    std::vector<SweepRunResult> taskResults =
+        SweepEngine(engineOpts).runTasks(opts.samples, sampleTask);
+    for (const SweepRunResult &tr : taskResults) {
+        if (!tr.ok)
+            throw std::runtime_error("sampled window failed: " + tr.error);
+    }
+
+    double sum = 0;
+    for (const SampleWindow &w : est.windows)
+        sum += w.cyclesPerOp;
+    double n = static_cast<double>(est.windows.size());
+    est.meanCyclesPerOp = sum / n;
+    double var = 0;
+    for (const SampleWindow &w : est.windows) {
+        double d = w.cyclesPerOp - est.meanCyclesPerOp;
+        var += d * d;
+    }
+    var = est.windows.size() > 1 ? var / (n - 1) : 0.0;
+    est.ciCyclesPerOp = 1.96 * std::sqrt(var / n);
+    est.estimatedCycles =
+        est.meanCyclesPerOp * static_cast<double>(est.totalOps);
+    est.ciCycles =
+        est.ciCyclesPerOp * static_cast<double>(est.totalOps);
+    if (wantShares) {
+        est.hasShares = true;
+        for (unsigned c = 0; c < kNumCycleCats; ++c) {
+            double s = 0;
+            for (unsigned i = 0; i < opts.samples; ++i)
+                s += shares[i][c];
+            est.categoryShares[c] = s / n;
+        }
+    }
+    return est;
+}
+
+} // namespace sp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parallel-in-time execution of a single run.
+ *
+ * The sweep engine parallelizes *across* runs; a single long run was
+ * still serial. This module splits one run along its own time axis:
+ *
+ *  - Sliced replay (exact): a producer machine runs the simulation
+ *    observer-free (plus the cross-slice durability audit) and snapshots
+ *    every quiescent slice boundary; trailing workers restore each
+ *    snapshot into a reusable deferred-setup machine and replay the
+ *    slice with the expensive observers (tracer, cycle accountant)
+ *    attached. Because boundaries are quiescent cut points -- no open
+ *    trace span, no open ledger episode -- per-slice summaries and
+ *    accounts partition the serial run exactly, and the merged result is
+ *    byte-identical to the serial one for any worker count (including
+ *    one). The boundary schedule depends only on the simulated
+ *    trajectory, never on worker count or host timing.
+ *
+ *  - Sampled measurement (estimated): SMARTS-style systematic sampling.
+ *    N short windows at evenly spaced operation offsets run in parallel,
+ *    each functionally fast-forwarded (the workload's deterministic op
+ *    stream replaces checkpoint warming), detail-warmed, then measured.
+ *    Returns estimated cycles / CPI with a 95% confidence interval --
+ *    fast triage, clearly labelled as an estimate, never a fingerprint.
+ */
+
+#ifndef SP_HARNESS_SLICE_HH
+#define SP_HARNESS_SLICE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/cycle_account.hh"
+
+namespace sp
+{
+
+/** Knobs of a sliced (exact, parallel-in-time) run. */
+struct SliceOptions
+{
+    /** Worker threads (1 producer + the rest replaying); 0 = automatic
+     *  (SP_JOBS, else hardware). With <= 1 resolved workers the run
+     *  falls back to plain runExperiment(). */
+    unsigned workers = 0;
+    /** Approximate slice-count target; the schedule asks for
+     *  max(minChunkCycles, now/targetSlices) more cycles per slice, so
+     *  slices grow geometrically and the count stays near this for any
+     *  run length. Worker-count independent by construction. */
+    unsigned targetSlices = 24;
+    /** Smallest slice the producer will cut, in cycles. */
+    Tick minChunkCycles = 200000;
+};
+
+/**
+ * Run one experiment sliced across the pool. Exact: Stats, the durable
+ * image, the trace summary, the audit report, and the cycle account are
+ * byte-identical to runExperiment(cfg) for any worker count.
+ *
+ * Restrictions: crash injection is a different entry point
+ * (runExperiment's crashAtCycle) and is not supported here, and a
+ * caller-owned tracer cannot be threaded through (slice tracers are
+ * per-slice, summary-only).
+ *
+ * @throws std::runtime_error when a slice worker fails (the first error
+ *         is rethrown with its slice index).
+ */
+RunResult runSlicedExperiment(const RunConfig &cfg,
+                              const SliceOptions &opts = {});
+
+/** Knobs of a sampled (estimated) run. */
+struct SampledOptions
+{
+    /** Measurement windows, spread evenly over the op stream. */
+    unsigned samples = 16;
+    /** Detail warm-up operations per window (caches, WPQ, SSB reach
+     *  steady state before measurement starts). */
+    uint64_t warmupOps = 64;
+    /** Measured operations per window. */
+    uint64_t measureOps = 256;
+    /** Worker threads for the windows; 0 = automatic. */
+    unsigned workers = 0;
+};
+
+/** One measured window of a sampled run. */
+struct SampleWindow
+{
+    /** Functional fast-forward depth (ops past the normal initOps). */
+    uint64_t offsetOps = 0;
+    uint64_t measuredOps = 0;
+    uint64_t measuredCycles = 0;
+    double cyclesPerOp = 0;
+};
+
+/** The estimate a sampled run produces. */
+struct SampledEstimate
+{
+    /** simOps of the run being estimated. */
+    uint64_t totalOps = 0;
+    std::vector<SampleWindow> windows;
+    double meanCyclesPerOp = 0;
+    /** Half-width of the 95% confidence interval on cyclesPerOp. */
+    double ciCyclesPerOp = 0;
+    /** meanCyclesPerOp * totalOps. */
+    double estimatedCycles = 0;
+    /** Half-width of the 95% confidence interval on estimatedCycles. */
+    double ciCycles = 0;
+    /** Mean share of each cycle category inside the measured windows
+     *  (all zero unless cfg.account.enabled). */
+    std::array<double, kNumCycleCats> categoryShares{};
+    bool hasShares = false;
+
+    /** One-line JSON object. */
+    std::string toJson() const;
+
+    /** Human-readable block. */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+};
+
+/**
+ * Estimate a run's cycle count (and CPI shares, when accounting is
+ * enabled) from sampled windows. Deterministic for a fixed config and
+ * option set -- windows are placed by arithmetic, not time -- but an
+ * ESTIMATE: use the exact paths for fingerprints.
+ */
+SampledEstimate runSampledExperiment(const RunConfig &cfg,
+                                     const SampledOptions &opts = {});
+
+} // namespace sp
+
+#endif // SP_HARNESS_SLICE_HH

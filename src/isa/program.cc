@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -57,6 +58,25 @@ ReplayableProgram::release(Cursor c)
     window_.popFront(drop);
     base_ = c;
     offset_ -= drop;
+}
+
+void
+ReplayableProgram::saveState(SnapshotWriter &w) const
+{
+    w.putTag("PROG");
+    w.putRing(window_);
+    w.putPod(base_);
+    w.putPod<uint64_t>(offset_);
+}
+
+void
+ReplayableProgram::restoreState(SnapshotReader &r)
+{
+    r.checkTag("PROG");
+    r.getRing(window_);
+    r.getPod(base_);
+    offset_ = static_cast<size_t>(r.getPod<uint64_t>());
+    SP_ASSERT(offset_ <= window_.size(), "restored cursor outside window");
 }
 
 } // namespace sp

@@ -21,6 +21,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Pull-based source of dynamic micro-ops. */
 class Program
 {
@@ -90,6 +93,13 @@ class ReplayableProgram : public Program
         out.push_back(window_.stat("program.window"));
         inner_.collectPoolStats(out);
     }
+
+    /**
+     * Snapshot visitors: retained window + cursor bookkeeping. The
+     * inner Program is restored separately (it is the OpEmitter).
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     Program &inner_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -135,6 +136,28 @@ Cache::flushAll()
         blk.valid = false;
         blk.dirty = false;
     }
+}
+
+void
+Cache::saveState(SnapshotWriter &w) const
+{
+    static_assert(std::is_trivially_copyable<Block>::value,
+                  "Cache::Block must stay trivially copyable");
+    w.putTag("CACH");
+    w.putPod(useCounter_);
+    w.putPodVec(blocks_);
+}
+
+void
+Cache::restoreState(SnapshotReader &r)
+{
+    r.checkTag("CACH");
+    r.getPod(useCounter_);
+    size_t frames = blocks_.size();
+    r.getPodVec(blocks_);
+    SP_ASSERT(blocks_.size() == frames, name_,
+              ": snapshot geometry mismatch (", blocks_.size(), " frames vs ",
+              frames, ")");
 }
 
 } // namespace sp

@@ -20,6 +20,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** One cache level. */
 class Cache
 {
@@ -80,6 +83,14 @@ class Cache
 
     /** Invalidate everything (used between experiment phases). */
     void flushAll();
+
+    /**
+     * Snapshot visitors: frame array verbatim (tags, dirty bits, data,
+     * LRU timestamps) + the recency counter. Geometry is rebuilt from
+     * config; the restored machine must use the same CacheConfig.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
     /** Visit every valid block frame (inspection, bulk writeback). */
     template <typename Fn>

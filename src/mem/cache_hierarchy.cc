@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -238,6 +239,24 @@ CacheHierarchy::writebackAll()
             }
         }
     }
+}
+
+void
+CacheHierarchy::saveState(SnapshotWriter &w) const
+{
+    w.putTag("CHIE");
+    l1d_.saveState(w);
+    l2_.saveState(w);
+    l3_.saveState(w);
+}
+
+void
+CacheHierarchy::restoreState(SnapshotReader &r)
+{
+    r.checkTag("CHIE");
+    l1d_.restoreState(r);
+    l2_.restoreState(r);
+    l3_.restoreState(r);
 }
 
 } // namespace sp

@@ -91,6 +91,10 @@ class CacheHierarchy
     Cache &l2() { return l2_; }
     Cache &l3() { return l3_; }
 
+    /** Snapshot visitors: delegate to the three levels. */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
+
   private:
     Cache l1d_;
     Cache l2_;

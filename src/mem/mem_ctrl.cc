@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -300,6 +301,44 @@ MemCtrl::drainAll()
         SP_ASSERT(next != kTickNever, "drainAll stuck");
         advanceTo(next);
     }
+}
+
+void
+MemCtrl::saveState(SnapshotWriter &w) const
+{
+    static_assert(std::is_trivially_copyable<WpqEntry>::value &&
+                      std::is_trivially_copyable<InFlight>::value &&
+                      std::is_trivially_copyable<PendingFlush>::value,
+                  "MemCtrl queue entries must stay trivially copyable");
+    w.putTag("MCTL");
+    w.putRing(wpq_);
+    w.putRing(inflight_);
+    w.putPod(nextSeq_);
+    w.putPod(drainedSeq_);
+    w.putPodVec(bankFreeAt_);
+    w.putPod(jitterRng_);
+    w.putPod(lastNow_);
+    w.putPod(nextFlushId_);
+    w.putRing(pending_);
+    w.putPod(firstPendingId_);
+}
+
+void
+MemCtrl::restoreState(SnapshotReader &r)
+{
+    r.checkTag("MCTL");
+    r.getRing(wpq_);
+    r.getRing(inflight_);
+    r.getPod(nextSeq_);
+    r.getPod(drainedSeq_);
+    r.getPodVec(bankFreeAt_);
+    SP_ASSERT(bankFreeAt_.size() == cfg_.nvmmBanks,
+              "snapshot bank count mismatch");
+    r.getPod(jitterRng_);
+    r.getPod(lastNow_);
+    r.getPod(nextFlushId_);
+    r.getRing(pending_);
+    r.getPod(firstPendingId_);
 }
 
 } // namespace sp

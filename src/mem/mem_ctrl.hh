@@ -29,6 +29,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Memory controller + NVMM device model. */
 class MemCtrl
 {
@@ -151,6 +154,14 @@ class MemCtrl
 
     /** Timeline position of the last advanceTo()/read() call. */
     Tick currentTick() const { return lastNow_; }
+
+    /**
+     * Snapshot visitors: WPQ + device-in-flight queues, flush flights,
+     * bank timing, and the jitter RNG stream. Config and the durable
+     * image reference are rebuilt by the restoring machine.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
     /** Append WPQ/in-flight/flush-record capacity and high-water stats. */
     void

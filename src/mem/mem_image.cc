@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -229,6 +230,37 @@ crc32(const void *data, size_t size, uint32_t seed)
     for (size_t i = 0; i < size; ++i)
         crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
     return ~crc;
+}
+
+void
+MemImage::saveState(SnapshotWriter &w) const
+{
+    w.putTag("MIMG");
+    std::vector<uint64_t> nums = residentPageNumbers();
+    w.putPod<uint64_t>(nums.size());
+    for (uint64_t num : nums) {
+        w.putPod(num);
+        w.putBytes(pages_.find(num)->second->data(), kPageBytes);
+    }
+    w.putPodVec(poisonedLines());
+}
+
+void
+MemImage::restoreState(SnapshotReader &r)
+{
+    r.checkTag("MIMG");
+    clear();
+    uint64_t pageCount = r.getPod<uint64_t>();
+    for (uint64_t i = 0; i < pageCount; ++i) {
+        uint64_t num = r.getPod<uint64_t>();
+        auto page = std::make_unique<Page>();
+        r.getBytes(page->data(), kPageBytes);
+        pages_.emplace(num, std::move(page));
+    }
+    std::vector<Addr> poisoned;
+    r.getPodVec(poisoned);
+    for (Addr line : poisoned)
+        poison_.insert(line);
 }
 
 std::vector<Addr>

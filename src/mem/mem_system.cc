@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -165,6 +166,28 @@ MemSystem::applyTornWrites(uint64_t seed)
     for (size_t i = 0; i < ctrls_.size(); ++i)
         torn += ctrls_[i]->applyTornWrites(seed + i);
     return torn;
+}
+
+void
+MemSystem::saveState(SnapshotWriter &w) const
+{
+    w.putTag("MSYS");
+    w.putPod(nextFlushId_);
+    w.putRing(flushParts_);
+    w.putPod(firstFlushId_);
+    for (const auto &ctrl : ctrls_)
+        ctrl->saveState(w);
+}
+
+void
+MemSystem::restoreState(SnapshotReader &r)
+{
+    r.checkTag("MSYS");
+    r.getPod(nextFlushId_);
+    r.getRing(flushParts_);
+    r.getPod(firstFlushId_);
+    for (auto &ctrl : ctrls_)
+        ctrl->restoreState(r);
 }
 
 } // namespace sp

@@ -123,6 +123,10 @@ class MemSystem
         out.push_back(flushParts_.stat("mc.flushParts"));
     }
 
+    /** Snapshot visitors: system flush tracking + every controller. */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
+
   private:
     std::vector<std::unique_ptr<MemCtrl>> ctrls_;
     Stats *stats_ = nullptr;

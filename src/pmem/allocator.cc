@@ -1,6 +1,7 @@
 #include "pmem/allocator.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -59,6 +60,33 @@ NvmAllocator::free(Addr addr, uint64_t bytes)
     SP_ASSERT(bytesLive_ >= rounded, "allocator live-byte underflow");
     bytesLive_ -= rounded;
     freeLists_[rounded].push_back(addr);
+}
+
+void
+NvmAllocator::saveState(SnapshotWriter &w) const
+{
+    w.putTag("ALOC");
+    w.putPod(bump_);
+    w.putPod(bytesLive_);
+    w.putPod<uint64_t>(freeLists_.size());
+    for (const auto &entry : freeLists_) {
+        w.putPod(entry.first);
+        w.putPodVec(entry.second);
+    }
+}
+
+void
+NvmAllocator::restoreState(SnapshotReader &r)
+{
+    r.checkTag("ALOC");
+    r.getPod(bump_);
+    r.getPod(bytesLive_);
+    freeLists_.clear();
+    uint64_t classes = r.getPod<uint64_t>();
+    for (uint64_t i = 0; i < classes; ++i) {
+        uint64_t sizeClass = r.getPod<uint64_t>();
+        r.getPodVec(freeLists_[sizeClass]);
+    }
 }
 
 } // namespace sp

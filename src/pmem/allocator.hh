@@ -23,6 +23,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Deterministic bump allocator over [base, base+size). */
 class NvmAllocator
 {
@@ -59,6 +62,10 @@ class NvmAllocator
      */
     Snapshot save() const;
     void restore(const Snapshot &snapshot);
+
+    /** Whole-simulator snapshot visitors (serialized Snapshot form). */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     Addr base_;

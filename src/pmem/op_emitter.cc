@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -384,6 +385,38 @@ OpEmitter::persistBarrier()
     sfence();
     pcommit();
     sfence();
+}
+
+void
+OpEmitter::saveState(SnapshotWriter &w) const
+{
+    SP_ASSERT(!shadow_, "cannot snapshot inside a shadow pass");
+    w.putTag("EMIT");
+    w.putPod(muted_);
+    w.putRing(queue_);
+    w.putPod(emitted_);
+    w.putPod(finished_);
+    w.putPod(mutationMatches_);
+    w.putPod(mutationDone_);
+    w.putPod(mutationHolding_);
+    w.putPod(mutationHeld_);
+    w.putPod(mutationPcommitsPassed_);
+}
+
+void
+OpEmitter::restoreState(SnapshotReader &r)
+{
+    SP_ASSERT(!shadow_, "cannot restore inside a shadow pass");
+    r.checkTag("EMIT");
+    r.getPod(muted_);
+    r.getRing(queue_);
+    r.getPod(emitted_);
+    r.getPod(finished_);
+    r.getPod(mutationMatches_);
+    r.getPod(mutationDone_);
+    r.getPod(mutationHolding_);
+    r.getPod(mutationHeld_);
+    r.getPod(mutationPcommitsPassed_);
 }
 
 } // namespace sp

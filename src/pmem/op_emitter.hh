@@ -32,6 +32,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Which persistence machinery a workload variant includes (Figure 8). */
 enum class PersistMode : uint8_t
 {
@@ -245,6 +248,15 @@ class OpEmitter : public Program
         out.push_back({"emitter.overlayBlocks", overlayBlocks_.capacity(),
                        overlayBlocks_.size()});
     }
+
+    /**
+     * Snapshot visitors: pending op queue, stream position, and the
+     * barrier-mutation interception state. The generator callback and
+     * the image reference are rebuilt by the restoring workload; shadow
+     * passes never span a snapshot point (asserted).
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     MemImage &image_;

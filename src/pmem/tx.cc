@@ -5,6 +5,7 @@
 
 #include "pmem/log_format.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -186,6 +187,37 @@ Tx::end()
         storeHeaderCrc(0);
     em_.clwb(kLogBase);
     em_.persistBarrier(); // step 4: the transaction is complete
+}
+
+void
+Tx::saveState(SnapshotWriter &w) const
+{
+    w.putTag("TX  ");
+    w.putPod(count_);
+    w.putPod(cursor_);
+    // A snapshot can land mid-transaction (generation is not cut at
+    // transaction boundaries), so the open transaction's tracked ranges
+    // ride along. std::pair is not trivially copyable; element-wise.
+    w.putPod<uint64_t>(tracked_.size());
+    for (const auto &[addr, len] : tracked_) {
+        w.putPod(addr);
+        w.putPod(len);
+    }
+}
+
+void
+Tx::restoreState(SnapshotReader &r)
+{
+    r.checkTag("TX  ");
+    r.getPod(count_);
+    r.getPod(cursor_);
+    uint64_t tracked = r.getPod<uint64_t>();
+    tracked_.clear();
+    for (uint64_t i = 0; i < tracked; ++i) {
+        Addr addr = r.getPod<Addr>();
+        unsigned len = r.getPod<unsigned>();
+        tracked_.emplace_back(addr, len);
+    }
 }
 
 } // namespace sp

@@ -39,6 +39,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** One software write-ahead-logging transaction context (reusable). */
 class Tx
 {
@@ -86,6 +89,14 @@ class Tx
 
     /** Entries logged in the current transaction. */
     unsigned entries() const { return count_; }
+
+    /**
+     * Snapshot visitors: entry count + log cursor. Snapshots are taken
+     * between workload operations, so the tracked-range scratch is
+     * empty (asserted).
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     OpEmitter &em_;

@@ -63,6 +63,9 @@
 namespace sp
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Audit knobs threaded through RunConfig (plain data, sweepable). */
 struct AuditOptions
 {
@@ -196,6 +199,15 @@ class DurabilityAuditor
     /** The report built so far (finalize() need not have run). */
     const AuditReport &report() const { return report_; }
 
+    /**
+     * Snapshot visitors: full tracking state (per-line durability
+     * timeline, unsealed flushes, epoch counters) plus the report built
+     * so far, so a resumed run emits byte-identical --audit JSON.
+     * Options and controller count are rebuilt from config.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
+
   private:
     struct LineState
     {
@@ -239,6 +251,9 @@ class DurabilityAuditor
     std::unordered_map<Addr, LineState> lines_;
     /** Lines with dirty == true (rule A scans only these). */
     std::unordered_set<Addr> dirtyLines_;
+    /** Reused sorted-scan scratch (rule A; keeps the hot path
+     *  allocation-free and the scan order canonical). */
+    std::vector<Addr> scanScratch_;
     /** Unsealed flushes, FIFO; maintained only with > 1 controller. */
     std::deque<PendingFlush> pending_;
 

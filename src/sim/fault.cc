@@ -6,6 +6,7 @@
 #include "mem/mem_image.hh"
 #include "pmem/layout.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -330,6 +331,24 @@ SpecGovernor::noteFenceRetired(Tick now)
         if (tracer_ && tracer_->enabled(kTraceSpec))
             tracer_->instant(kTraceSpec, "watchdog_rearm", now);
     }
+}
+
+void
+SpecGovernor::saveState(SnapshotWriter &w) const
+{
+    w.putTag("GOVR");
+    w.putPod(streak_);
+    w.putPod(backoffUntil_);
+    w.putPod(degradedRemaining_);
+}
+
+void
+SpecGovernor::restoreState(SnapshotReader &r)
+{
+    r.checkTag("GOVR");
+    r.getPod(streak_);
+    r.getPod(backoffUntil_);
+    r.getPod(degradedRemaining_);
 }
 
 } // namespace sp

@@ -48,6 +48,8 @@ namespace sp
 {
 
 class MemImage;
+class SnapshotReader;
+class SnapshotWriter;
 class Stats;
 class Tracer;
 
@@ -341,6 +343,13 @@ class SpecGovernor
 
     /** Tick until which re-speculation is backed off. */
     Tick backoffUntil() const { return backoffUntil_; }
+
+    /**
+     * Snapshot visitors: the three mutable fields only. Config and sink
+     * pointers are rebuilt by the owner; attach() runs before restore.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     WatchdogConfig cfg_;

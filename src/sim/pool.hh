@@ -579,6 +579,22 @@ class BinaryHeap
 
     void reserve(size_t n) { heap_.reserve(n); }
 
+    /**
+     * Raw heap-array access for snapshot/restore. The array layout (not
+     * just the element multiset) determines future pop order when keys
+     * compare equal, so restoreRaw() adopts the saved layout verbatim
+     * instead of re-pushing, keeping restored pop order bit-identical.
+     */
+    const std::vector<T> &raw() const { return heap_; }
+
+    void
+    restoreRaw(const std::vector<T> &values)
+    {
+        heap_ = values;
+        if (heap_.size() > highWater_)
+            highWater_ = heap_.size();
+    }
+
     PoolStat
     stat(const char *name) const
     {

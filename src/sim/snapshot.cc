@@ -1,0 +1,82 @@
+#include "sim/snapshot.hh"
+
+#include <cstdio>
+
+namespace sp
+{
+
+namespace
+{
+constexpr char kMagic[8] = {'S', 'P', 'S', 'N', 'A', 'P', '0', '1'};
+} // namespace
+
+std::vector<uint8_t>
+SimSnapshot::serialize() const
+{
+    SnapshotWriter w;
+    w.putBytes(kMagic, sizeof(kMagic));
+    w.putPod<uint32_t>(version);
+    w.putString(configDesc);
+    w.putPod<Tick>(tick);
+    w.putPod<uint64_t>(payload.size());
+    if (!payload.empty())
+        w.putBytes(payload.data(), payload.size());
+    return w.take();
+}
+
+SimSnapshot
+SimSnapshot::deserialize(const uint8_t *data, size_t n)
+{
+    SnapshotReader r(data, n);
+    char magic[8];
+    r.getBytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw SnapshotError("not a snapshot file (bad magic)");
+    SimSnapshot snap;
+    r.getPod(snap.version);
+    if (snap.version != kVersion)
+        throw SnapshotError("unsupported snapshot version " +
+                            std::to_string(snap.version) + " (expected " +
+                            std::to_string(kVersion) + ")");
+    snap.configDesc = r.getString();
+    r.getPod(snap.tick);
+    uint64_t payloadBytes = r.getPod<uint64_t>();
+    if (r.remaining() < payloadBytes)
+        throw SnapshotError("snapshot truncated: payload promises " +
+                            std::to_string(payloadBytes) + " bytes, file has " +
+                            std::to_string(r.remaining()));
+    snap.payload.resize(static_cast<size_t>(payloadBytes));
+    if (payloadBytes)
+        r.getBytes(snap.payload.data(), static_cast<size_t>(payloadBytes));
+    return snap;
+}
+
+void
+SimSnapshot::writeFile(const std::string &path) const
+{
+    std::vector<uint8_t> buf = serialize();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw SnapshotError("cannot open '" + path + "' for writing");
+    size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+    int closeErr = std::fclose(f);
+    if (written != buf.size() || closeErr != 0)
+        throw SnapshotError("short write to '" + path + "'");
+}
+
+SimSnapshot
+SimSnapshot::readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError("cannot open '" + path + "' for reading");
+    std::vector<uint8_t> buf;
+    uint8_t chunk[1u << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        buf.insert(buf.end(), chunk, chunk + n);
+    std::fclose(f);
+    return deserialize(buf.data(), buf.size());
+}
+
+} // namespace sp

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -604,6 +605,56 @@ bool
 jsonIsValid(const std::string &text, std::string *error)
 {
     return JsonChecker(text).run(error);
+}
+
+void
+TraceSummary::merge(const TraceSummary &other)
+{
+    enabled = enabled || other.enabled;
+    events += other.events;
+    dropped += other.dropped;
+    counterSamples += other.counterSamples;
+    aborts += other.aborts;
+    ssbForwards += other.ssbForwards;
+    bloomFalsePositives += other.bloomFalsePositives;
+    epochsBegun += other.epochsBegun;
+    epochsEnded += other.epochsEnded;
+    fenceStall.merge(other.fenceStall);
+    epochDuration.merge(other.epochDuration);
+    pcommitLatency.merge(other.pcommitLatency);
+}
+
+void
+Tracer::saveState(SnapshotWriter &w) const
+{
+    static_assert(std::is_trivially_copyable<TraceSummary>::value,
+                  "TraceSummary must stay trivially copyable");
+    w.putTag("TRAC");
+    w.putPod(summary_);
+    w.putPod<uint64_t>(openAsync_.size());
+    for (const OpenAsync &span : openAsync_) {
+        w.putString(span.name);
+        w.putPod(span.id);
+        w.putPod(span.begin);
+    }
+}
+
+void
+Tracer::restoreState(SnapshotReader &r)
+{
+    r.checkTag("TRAC");
+    r.getPod(summary_);
+    uint64_t open = r.getPod<uint64_t>();
+    openAsync_.clear();
+    for (uint64_t i = 0; i < open; ++i) {
+        restoredNames_.push_back(r.getString());
+        OpenAsync span;
+        span.name = restoredNames_.back().c_str();
+        r.getPod(span.id);
+        r.getPod(span.begin);
+        openAsync_.push_back(span);
+    }
+    events_.clear();
 }
 
 } // namespace sp

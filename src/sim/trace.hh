@@ -32,6 +32,7 @@
 #define SP_SIM_TRACE_HH
 
 #include <cstdint>
+#include <deque>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -41,6 +42,9 @@
 
 namespace sp
 {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /**
  * Event categories, a bitmask so a run can record only what it needs.
@@ -154,6 +158,14 @@ struct TraceSummary
 
     /** One-line JSON object (histograms as n/mean/p50/p90/p99/max). */
     std::string toJson() const;
+
+    /**
+     * Fold another summary into this one: counts add, histograms merge,
+     * enabled ORs. Exact for slice-parallel replay because every span is
+     * opened and closed within its slice (slices cut at quiescent
+     * boundaries), so per-slice summaries partition the serial stream.
+     */
+    void merge(const TraceSummary &other);
 };
 
 /**
@@ -214,6 +226,16 @@ class Tracer
      */
     void writeCounterCsv(std::ostream &os) const;
 
+    /**
+     * Snapshot visitors: the incremental summary plus any open async
+     * spans (by name content -- the restored side interns the strings so
+     * the strcmp match path still closes them). Options are rebuilt from
+     * config; retained events are not serialized (a resumed run
+     * re-records from the restore point).
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
+
   private:
     TraceOptions opts_;
     std::ostream *textSink_ = nullptr;
@@ -233,6 +255,13 @@ class Tracer
         Tick begin;
     };
     std::vector<OpenAsync> openAsync_;
+    /**
+     * Stable backing for span names restored from a snapshot. Live spans
+     * point at string literals; restored ones point in here (a deque so
+     * growth never moves existing entries). Only ever touched on
+     * restore, never in the steady state.
+     */
+    std::deque<std::string> restoredNames_;
 
     void publish(TraceEvent event);
     void noteForSummary(const TraceEvent &event);

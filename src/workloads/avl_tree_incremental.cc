@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -210,6 +211,18 @@ AvlTreeIncrementalWorkload::checkImage(const MemImage &img,
         return false;
     }
     return true;
+}
+
+void
+AvlTreeIncrementalWorkload::saveExtra(SnapshotWriter &w) const
+{
+    w.putPod(rebalanceSteps_);
+}
+
+void
+AvlTreeIncrementalWorkload::restoreExtra(SnapshotReader &r)
+{
+    r.getPod(rebalanceSteps_);
 }
 
 } // namespace sp

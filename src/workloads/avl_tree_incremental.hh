@@ -45,6 +45,8 @@ class AvlTreeIncrementalWorkload : public AvlTreeWorkload
 
   protected:
     void doOperation() override;
+    void saveExtra(SnapshotWriter &w) const override;
+    void restoreExtra(SnapshotReader &r) override;
 
   private:
     /**

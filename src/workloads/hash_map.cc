@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -291,6 +292,18 @@ HashMapWorkload::checkImage(const MemImage &img, std::string *why) const
     if (tomb != tombs)
         return fail("stored tombstone count disagrees with table scan");
     return true;
+}
+
+void
+HashMapWorkload::saveExtra(SnapshotWriter &w) const
+{
+    w.putPod(resizes_);
+}
+
+void
+HashMapWorkload::restoreExtra(SnapshotReader &r)
+{
+    r.getPod(resizes_);
 }
 
 } // namespace sp

@@ -42,6 +42,8 @@ class HashMapWorkload : public Workload
   protected:
     void create() override;
     void doOperation() override;
+    void saveExtra(SnapshotWriter &w) const override;
+    void restoreExtra(SnapshotReader &r) override;
 
   private:
     static constexpr Addr kMeta = kWorkloadMetaBase;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -144,6 +145,18 @@ StringSwapWorkload::checkImage(const MemImage &img, std::string *why) const
         --it->second;
     }
     return true;
+}
+
+void
+StringSwapWorkload::saveExtra(SnapshotWriter &w) const
+{
+    w.putPod(array_);
+}
+
+void
+StringSwapWorkload::restoreExtra(SnapshotReader &r)
+{
+    r.getPod(array_);
 }
 
 } // namespace sp

@@ -38,6 +38,8 @@ class StringSwapWorkload : public Workload
   protected:
     void create() override;
     void doOperation() override;
+    void saveExtra(SnapshotWriter &w) const override;
+    void restoreExtra(SnapshotReader &r) override;
 
   private:
     static constexpr Addr kMeta = kWorkloadMetaBase;

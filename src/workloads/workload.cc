@@ -2,6 +2,7 @@
 
 #include "pmem/log_format.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace sp
 {
@@ -130,6 +131,38 @@ Workload::bumpGeneration()
     uint64_t gen = em_.load(kGenerationAddr, 8);
     em_.store(kGenerationAddr, gen + 1, 8);
     em_.clwb(kGenerationAddr);
+}
+
+void
+Workload::saveState(SnapshotWriter &w) const
+{
+    SP_ASSERT(stopAtGen_ == 0, "cannot snapshot during functional replay");
+    w.putTag("WKLD");
+    imageStorage_->saveState(w);
+    alloc_.saveState(w);
+    em_.saveState(w);
+    tx_.saveState(w);
+    w.putPod(rng_);
+    w.putPod(opsDone_);
+    w.putPod(created_);
+    w.putPod(serialHandle_);
+    saveExtra(w);
+}
+
+void
+Workload::restoreState(SnapshotReader &r)
+{
+    SP_ASSERT(stopAtGen_ == 0, "cannot restore during functional replay");
+    r.checkTag("WKLD");
+    imageStorage_->restoreState(r);
+    alloc_.restoreState(r);
+    em_.restoreState(r);
+    tx_.restoreState(r);
+    r.getPod(rng_);
+    r.getPod(opsDone_);
+    r.getPod(created_);
+    r.getPod(serialHandle_);
+    restoreExtra(r);
 }
 
 } // namespace sp

@@ -35,6 +35,9 @@
 namespace sp
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** The seven benchmarks of Table 1. */
 enum class WorkloadKind
 {
@@ -137,7 +140,21 @@ class Workload
     /** Durable generation counter stored in `img`. */
     static uint64_t generation(const MemImage &img);
 
+    /**
+     * Snapshot visitors: volatile image, allocator, emitter, tx, rng,
+     * and op progress. Restoring into a freshly constructed (setup()
+     * never called) instance is supported and is how replay machines
+     * skip the functional fast-forward: the generator hook is installed
+     * by the constructor, and everything else is value state.
+     * Subclasses with fields of their own override saveExtra().
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
+
   protected:
+    /** Subclass hook appended to saveState/restoreState. */
+    virtual void saveExtra(SnapshotWriter &) const {}
+    virtual void restoreExtra(SnapshotReader &) {}
     /** Build the structure's initial state (called once before any op). */
     virtual void create() = 0;
 

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * The whole-simulator snapshot contract and the parallel-in-time paths
+ * built on it (harness/machine.hh, harness/slice.hh).
+ *
+ *  - Round-trip bit-identity: for every workload (the seven Table-1
+ *    kinds plus the incremental-logging AVL variant), SP on and off,
+ *    oracle and event-skip clocks, and crash / conflict / media-fault
+ *    cells: snapshot-at-T, serialize to bytes, deserialize, restore
+ *    into a fresh deferred-setup machine, run to the end -- the Stats
+ *    CSV, trace summary, audit report, cycle account, durable image
+ *    hash, and outcome must be byte-identical to the uninterrupted run.
+ *  - Rejection: version skew, config mismatch, and trailing bytes must
+ *    throw SnapshotError, never read garbage.
+ *  - Slice-parallel replay: runSlicedExperiment must reproduce the
+ *    serial fingerprint exactly, for any worker count.
+ *  - Sampled mode: deterministic across repeats, and a sane estimate.
+ *
+ * A failure here means some component hid timing-relevant state from
+ * its snapshot visitor -- extend the visitor, do not loosen the test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/machine.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/slice.hh"
+#include "sim/snapshot.hh"
+#include "workloads/factory.hh"
+
+using namespace sp;
+
+namespace
+{
+
+struct Fingerprint
+{
+    std::string stats;
+    std::string trace;
+    std::string audit;
+    std::string account;
+    uint64_t imageHash = 0;
+    bool completed = false;
+    RunOutcome outcome = RunOutcome::kOk;
+    uint64_t generation = 0;
+
+    bool operator==(const Fingerprint &o) const = default;
+};
+
+Fingerprint
+fingerprint(const RunResult &r)
+{
+    return {statsCsvRow("", r.stats),
+            r.trace.enabled ? r.trace.toJson() : std::string(),
+            r.audit.enabled ? r.audit.toJson() : std::string(),
+            r.account.enabled ? r.account.toJson() : std::string(),
+            r.durable.hash(),
+            r.completed,
+            r.outcome,
+            r.functionalGeneration};
+}
+
+struct Cell
+{
+    RunConfig cfg;
+    Tick crashAtCycle = 0;
+    std::string name;
+};
+
+/** The seven Table-1 workloads plus the incremental-logging variant. */
+std::vector<WorkloadKind>
+snapshotKinds()
+{
+    std::vector<WorkloadKind> kinds = allWorkloadKinds();
+    kinds.push_back(WorkloadKind::kAvlTreeIncremental);
+    return kinds;
+}
+
+RunConfig
+smallConfig(WorkloadKind kind, bool sp)
+{
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.params = defaultParams(kind);
+    cfg.params.seed = 42;
+    cfg.params.initOps = 200;
+    cfg.params.simOps = 60;
+    cfg.params.mode = PersistMode::kLogPSf;
+    cfg.sim.sp.enabled = sp;
+    return cfg;
+}
+
+/** Every observer on: the widest possible snapshot payload. */
+void
+enableObservers(RunConfig &cfg)
+{
+    cfg.trace.categories = kTraceAll;
+    cfg.audit.enabled = true;
+    cfg.account.enabled = true;
+}
+
+std::vector<Cell>
+roundTripGrid()
+{
+    std::vector<Cell> cells;
+    for (WorkloadKind kind : snapshotKinds()) {
+        for (bool sp : {false, true}) {
+            Cell cell;
+            cell.cfg = smallConfig(kind, sp);
+            enableObservers(cell.cfg);
+            cell.name = std::string(workloadKindName(kind)) +
+                (sp ? "+SP" : "");
+            cells.push_back(cell);
+        }
+    }
+
+    // The clock-skew cell: the one-cycle-at-a-time oracle loop walks a
+    // different (denser) step trajectory than event skip.
+    {
+        Cell cell;
+        cell.cfg = smallConfig(WorkloadKind::kBTree, true);
+        cell.cfg.sim.eventSkip = false;
+        enableObservers(cell.cfg);
+        cell.name = "BT+SP oracle-clock";
+        cells.push_back(cell);
+    }
+    // Adversarial conflicts: the injector's Rng and probe schedule ride
+    // the snapshot.
+    {
+        Cell cell;
+        cell.cfg = smallConfig(WorkloadKind::kLinkedList, true);
+        cell.cfg.sim.fault.conflict.enabled = true;
+        cell.cfg.sim.fault.conflict.period = 2000;
+        cell.cfg.sim.fault.conflict.seed = 7;
+        cell.cfg.sim.fault.watchdog.enabled = true;
+        enableObservers(cell.cfg);
+        cell.name = "LL+SP conflicts";
+        cells.push_back(cell);
+    }
+    // A crash cell: the run never completes; torn writes + NVMM write
+    // jitter depend on the exact WPQ contents at the crash tick.
+    {
+        Cell cell;
+        cell.cfg = smallConfig(WorkloadKind::kHashMap, true);
+        cell.cfg.sim.fault.crash.tornWrites = true;
+        cell.cfg.sim.fault.crash.pcommitJitterCycles = 32;
+        cell.cfg.sim.fault.crash.seed = 42;
+        cell.crashAtCycle = 120000;
+        cell.name = "HM+SP crash";
+        cells.push_back(cell);
+    }
+    // Media faults on top of the crash image.
+    {
+        Cell cell;
+        cell.cfg = smallConfig(WorkloadKind::kLinkedList, true);
+        cell.cfg.params.checksums = true;
+        cell.cfg.sim.fault.media.enabled = true;
+        cell.cfg.sim.fault.media.faults = 4;
+        cell.cfg.sim.fault.media.seed = 42;
+        cell.crashAtCycle = 100000;
+        cell.name = "LL+SP crash+media";
+        cells.push_back(cell);
+    }
+    return cells;
+}
+
+/** Serial run via the Machine API (identical to runExperiment). */
+RunResult
+serialRun(const Cell &cell)
+{
+    return runExperiment(cell.cfg, cell.crashAtCycle);
+}
+
+/**
+ * The same run split at `snapAt`: run a producer machine to the tick,
+ * snapshot, push the snapshot through the byte container, restore into
+ * a fresh deferred-setup machine, and finish there.
+ */
+RunResult
+roundTripRun(const Cell &cell, Tick snapAt)
+{
+    Tracer *tracer = nullptr;
+    Machine producer(cell.cfg, tracer);
+    producer.runUntil(snapAt);
+    std::vector<uint8_t> bytes = producer.takeSnapshot().serialize();
+    SimSnapshot snap = SimSnapshot::deserialize(bytes.data(), bytes.size());
+
+    Machine resumed(cell.cfg, tracer, /*deferSetup=*/true);
+    resumed.restoreSnapshot(snap);
+    resumed.runUntil(cell.crashAtCycle != 0 ? cell.crashAtCycle
+                                            : kTickNever);
+    return resumed.finish(cell.crashAtCycle);
+}
+
+} // namespace
+
+TEST(Snapshot, RoundTripBitIdentity)
+{
+    for (const Cell &cell : roundTripGrid()) {
+        SCOPED_TRACE(cell.name);
+        RunResult serial = serialRun(cell);
+        Fingerprint want = fingerprint(serial);
+        Tick cycles = serial.stats.cycles;
+        // Early, middle, and late cuts; the ticks land wherever the step
+        // trajectory puts them (runUntil may overshoot under event skip),
+        // which is exactly what a real checkpoint does.
+        for (Tick snapAt :
+             {Tick(1000), Tick(cycles / 2), Tick(cycles - 1000)}) {
+            SCOPED_TRACE("snapAt=" + std::to_string(snapAt));
+            EXPECT_EQ(fingerprint(roundTripRun(cell, snapAt)), want);
+        }
+    }
+}
+
+TEST(Snapshot, RoundTripAtTickZero)
+{
+    // Degenerate but legal: a snapshot before the first step.
+    Cell cell;
+    cell.cfg = smallConfig(WorkloadKind::kBTree, true);
+    enableObservers(cell.cfg);
+    EXPECT_EQ(fingerprint(roundTripRun(cell, 0)),
+              fingerprint(serialRun(cell)));
+}
+
+TEST(Snapshot, RejectsVersionSkew)
+{
+    Machine machine(smallConfig(WorkloadKind::kLinkedList, true));
+    machine.runUntil(1000);
+    std::vector<uint8_t> bytes = machine.takeSnapshot().serialize();
+    // The version field sits right after the 8-byte magic.
+    bytes[8] ^= 0xff;
+    EXPECT_THROW(SimSnapshot::deserialize(bytes.data(), bytes.size()),
+                 SnapshotError);
+}
+
+TEST(Snapshot, RejectsBadMagic)
+{
+    Machine machine(smallConfig(WorkloadKind::kLinkedList, true));
+    machine.runUntil(1000);
+    std::vector<uint8_t> bytes = machine.takeSnapshot().serialize();
+    bytes[0] ^= 0xff;
+    EXPECT_THROW(SimSnapshot::deserialize(bytes.data(), bytes.size()),
+                 SnapshotError);
+}
+
+TEST(Snapshot, RejectsConfigMismatch)
+{
+    RunConfig cfg = smallConfig(WorkloadKind::kLinkedList, true);
+    Machine machine(cfg);
+    machine.runUntil(1000);
+    SimSnapshot snap = machine.takeSnapshot();
+
+    RunConfig other = cfg;
+    other.params.seed = 43;
+    Machine resumed(other, nullptr, /*deferSetup=*/true);
+    EXPECT_THROW(resumed.restoreSnapshot(snap), SnapshotError);
+}
+
+TEST(Snapshot, RejectsTrailingBytes)
+{
+    RunConfig cfg = smallConfig(WorkloadKind::kLinkedList, true);
+    Machine machine(cfg);
+    machine.runUntil(1000);
+    SimSnapshot snap = machine.takeSnapshot();
+    snap.payload.push_back(0);
+    Machine resumed(cfg, nullptr, /*deferSetup=*/true);
+    EXPECT_THROW(resumed.restoreSnapshot(snap), SnapshotError);
+}
+
+TEST(Snapshot, RejectsTruncatedPayload)
+{
+    RunConfig cfg = smallConfig(WorkloadKind::kLinkedList, true);
+    Machine machine(cfg);
+    machine.runUntil(1000);
+    SimSnapshot snap = machine.takeSnapshot();
+    snap.payload.resize(snap.payload.size() / 2);
+    Machine resumed(cfg, nullptr, /*deferSetup=*/true);
+    EXPECT_THROW(resumed.restoreSnapshot(snap), SnapshotError);
+}
+
+TEST(Snapshot, RejectsObserverMismatch)
+{
+    // A snapshot carrying audit state cannot restore into a machine
+    // without the auditor: the section would be silently dropped.
+    RunConfig cfg = smallConfig(WorkloadKind::kLinkedList, true);
+    cfg.audit.enabled = true;
+    Machine machine(cfg);
+    machine.runUntil(1000);
+    SimSnapshot snap = machine.takeSnapshot();
+
+    RunConfig bare = cfg;
+    bare.audit.enabled = false;
+    Machine resumed(bare, nullptr, /*deferSetup=*/true);
+    EXPECT_THROW(resumed.restoreSnapshot(snap), std::exception);
+}
+
+namespace
+{
+
+/** Small enough to run serially in a test, big enough for many slices. */
+SliceOptions
+tinySlices(unsigned workers)
+{
+    SliceOptions opts;
+    opts.workers = workers;
+    opts.targetSlices = 6;
+    opts.minChunkCycles = 20000;
+    return opts;
+}
+
+} // namespace
+
+TEST(SliceParallel, MatchesSerialEverywhere)
+{
+    // Full-observer configs: the merged trace summary, cycle account,
+    // and the producer-owned audit must all equal the serial run's.
+    for (WorkloadKind kind :
+         {WorkloadKind::kBTree, WorkloadKind::kLinkedList,
+          WorkloadKind::kGraph, WorkloadKind::kAvlTreeIncremental}) {
+        SCOPED_TRACE(workloadKindName(kind));
+        RunConfig cfg = smallConfig(kind, true);
+        enableObservers(cfg);
+        Fingerprint serial = fingerprint(runExperiment(cfg));
+        Fingerprint sliced =
+            fingerprint(runSlicedExperiment(cfg, tinySlices(4)));
+        EXPECT_EQ(sliced, serial);
+    }
+}
+
+TEST(SliceParallel, WorkerCountInvariant)
+{
+    RunConfig cfg = smallConfig(WorkloadKind::kBTree, true);
+    enableObservers(cfg);
+    Fingerprint two = fingerprint(runSlicedExperiment(cfg, tinySlices(2)));
+    Fingerprint eight =
+        fingerprint(runSlicedExperiment(cfg, tinySlices(8)));
+    EXPECT_EQ(two, eight);
+}
+
+TEST(SliceParallel, SerialFallback)
+{
+    // One resolved worker cannot overlap anything; the scheduler must
+    // fall back to the plain serial path, not deadlock on itself.
+    RunConfig cfg = smallConfig(WorkloadKind::kStringSwap, true);
+    enableObservers(cfg);
+    Fingerprint serial = fingerprint(runExperiment(cfg));
+    EXPECT_EQ(fingerprint(runSlicedExperiment(cfg, tinySlices(1))),
+              serial);
+}
+
+TEST(SliceParallel, ObserverFreeConfig)
+{
+    // No trace, no account, no audit: nothing to merge, stats and image
+    // still exact.
+    RunConfig cfg = smallConfig(WorkloadKind::kRbTree, true);
+    Fingerprint serial = fingerprint(runExperiment(cfg));
+    EXPECT_EQ(fingerprint(runSlicedExperiment(cfg, tinySlices(4))),
+              serial);
+}
+
+TEST(Sampled, DeterministicAndSane)
+{
+    RunConfig cfg = smallConfig(WorkloadKind::kHashMap, true);
+    cfg.params.simOps = 2000;
+    cfg.account.enabled = true;
+
+    SampledOptions opts;
+    opts.samples = 6;
+    opts.warmupOps = 32;
+    opts.measureOps = 128;
+    opts.workers = 4;
+
+    SampledEstimate a = runSampledExperiment(cfg, opts);
+    SampledEstimate b = runSampledExperiment(cfg, opts);
+    EXPECT_EQ(a.toJson(), b.toJson());
+
+    RunConfig exactCfg = cfg;
+    exactCfg.account.enabled = false;
+    RunResult exact = runExperiment(exactCfg);
+    double actual = static_cast<double>(exact.stats.cycles);
+    EXPECT_GT(a.estimatedCycles, 0.75 * actual);
+    EXPECT_LT(a.estimatedCycles, 1.25 * actual);
+    ASSERT_TRUE(a.hasShares);
+    double shareSum = 0;
+    for (double s : a.categoryShares)
+        shareSum += s;
+    // Shares partition the measured cycles (exclusive categories).
+    EXPECT_NEAR(shareSum, 1.0, 1e-9);
+    EXPECT_EQ(a.windows.size(), opts.samples);
+    for (const SampleWindow &w : a.windows)
+        EXPECT_GE(w.measuredOps, opts.measureOps / 2);
+}
+
+TEST(Sampled, WorkerCountInvariant)
+{
+    RunConfig cfg = smallConfig(WorkloadKind::kGraph, true);
+    cfg.params.simOps = 1200;
+    SampledOptions opts;
+    opts.samples = 4;
+    opts.warmupOps = 16;
+    opts.measureOps = 64;
+    opts.workers = 1;
+    std::string one = runSampledExperiment(cfg, opts).toJson();
+    opts.workers = 8;
+    EXPECT_EQ(runSampledExperiment(cfg, opts).toJson(), one);
+}
